@@ -1,0 +1,56 @@
+// Supporting experiment for Section III-B's solver claims: CG vs Jacobi-PCG
+// vs AMG-PCG iteration counts and runtimes as the PG grows. AMG-PCG's
+// near-mesh-independent convergence is what makes the rough-solution stage
+// cheap enough to feed the ML model.
+
+#include <iomanip>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "pg/generator.hpp"
+#include "pg/mna.hpp"
+#include "solver/amg_pcg.hpp"
+#include "solver/cg.hpp"
+
+int main() {
+  using namespace irf;
+  try {
+    std::cout.setf(std::ios::unitbuf);  // stream progress even when redirected
+    std::cout << "bench_solver_scaling — CG vs Jacobi-PCG vs AMG-PCG on growing PGs\n";
+    std::cout << std::left << std::setw(8) << "px" << std::right << std::setw(10)
+              << "unknowns" << std::setw(10) << "CG its" << std::setw(12) << "Jacobi its"
+              << std::setw(10) << "AMG its" << std::setw(12) << "AMG setup" << std::setw(12)
+              << "AMG solve" << "\n";
+    for (int px : {32, 48, 64, 96}) {
+      Rng rng(1000 + px);
+      pg::PgDesign design = pg::generate_fake_design(px, rng, "scale");
+      pg::MnaSystem sys = pg::assemble_mna(design.netlist);
+
+      solver::SolveOptions opt;
+      opt.rel_tolerance = 1e-8;
+      opt.max_iterations = 20000;
+
+      solver::SolveResult cg = solver::conjugate_gradient(sys.conductance, sys.rhs, opt);
+      solver::JacobiPreconditioner jacobi(sys.conductance);
+      solver::SolveResult jac =
+          solver::preconditioned_cg(sys.conductance, sys.rhs, jacobi, opt);
+
+      Stopwatch setup_timer;
+      solver::AmgPcgSolver amg(sys.conductance);
+      const double setup_s = setup_timer.seconds();
+      solver::SolveResult amg_result = amg.solve(sys.rhs, opt);
+
+      std::cout << std::left << std::setw(8) << px << std::right << std::setw(10)
+                << sys.conductance.rows() << std::setw(10) << cg.iterations
+                << std::setw(12) << jac.iterations << std::setw(10)
+                << amg_result.iterations << std::setw(12) << std::fixed
+                << std::setprecision(4) << setup_s << std::setw(12)
+                << amg_result.solve_seconds << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_solver_scaling failed: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,27 @@
+// Reproduces TABLE I (main results): MAE / F1 / runtime / MIRDE for the six
+// baselines and IR-Fusion on the held-out real designs.
+//
+// Scale via IRF_SCALE=ci|paper, seed via IRF_SEED (see DESIGN.md Section 4).
+
+#include <iostream>
+
+#include "common/env.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  try {
+    std::cout.setf(std::ios::unitbuf);  // stream progress even when redirected
+    const irf::ScaleConfig config = irf::resolve_scale_from_env();
+    std::cout << "bench_table1_main — TABLE I reproduction\n";
+    std::cout << "config: " << config.describe() << "\n";
+    std::cout << "building design set (golden solves)...\n";
+    irf::train::DesignSet designs = irf::train::build_design_set(config);
+    std::cout << "train designs: " << designs.train.size()
+              << ", test designs: " << designs.test.size() << "\n";
+    irf::core::run_table1(config, designs, std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_table1_main failed: " << e.what() << "\n";
+    return 1;
+  }
+}

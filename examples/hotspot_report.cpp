@@ -1,0 +1,86 @@
+// Hotspot report: a signoff-style text report for one design — worst-case
+// IR drop, hotspot pixels (>= 90% of worst, the contest rule), their
+// locations, and a per-metal-layer voltage summary. Demonstrates using the
+// solver + feature layers directly, without the ML stage.
+//
+// Usage: hotspot_report [image_px] [seed]
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "features/extractor.hpp"
+#include "pg/generator.hpp"
+#include "pg/solve.hpp"
+
+int main(int argc, char** argv) {
+  using namespace irf;
+  try {
+    const int px = argc > 1 ? std::atoi(argv[1]) : 48;
+    const unsigned seed = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 77;
+    Rng rng(seed);
+    pg::PgDesign design = pg::generate_real_design(px, rng, "report_target");
+    pg::PgSolution sol = pg::golden_solve(design);
+
+    std::cout << "=== IR drop report: " << design.name << " ===\n";
+    const pg::DesignStats stats = pg::compute_stats(design);
+    std::cout << "nodes " << stats.num_nodes << " | pads " << stats.num_pads
+              << " | total load " << std::fixed << std::setprecision(1)
+              << stats.total_current * 1e3 << " mA | vdd " << std::setprecision(2)
+              << design.vdd << " V\n\n";
+
+    // Per-layer voltage summary.
+    std::map<int, std::pair<double, double>> layer_minmax;  // metal -> (min v, max drop)
+    for (spice::NodeId id = 0; id < design.netlist.num_nodes(); ++id) {
+      const auto& c = design.netlist.node_coords(id);
+      if (!c) continue;
+      auto& [min_v, max_drop] = layer_minmax
+          .try_emplace(c->layer, design.vdd, 0.0).first->second;
+      min_v = std::min(min_v, sol.node_voltage[id]);
+      max_drop = std::max(max_drop, sol.ir_drop[id]);
+    }
+    std::cout << "per-layer summary:\n";
+    for (const auto& [metal, mm] : layer_minmax) {
+      std::cout << "  m" << metal << ": min voltage " << std::setprecision(4)
+                << mm.first << " V, worst drop " << std::setprecision(3)
+                << mm.second * 1e3 << " mV\n";
+    }
+
+    // Hotspot analysis on the bottom-layer image (contest rule: >= 0.9*max).
+    const GridF label = features::label_map(design, sol, px);
+    const float worst = label.max_value();
+    const float threshold = 0.9f * worst;
+    std::vector<std::pair<int, int>> hotspots;
+    for (int y = 0; y < label.height(); ++y) {
+      for (int x = 0; x < label.width(); ++x) {
+        if (label(y, x) >= threshold) hotspots.emplace_back(y, x);
+      }
+    }
+    std::cout << "\nworst-case IR drop: " << std::setprecision(3) << worst * 1e3
+              << " mV (" << std::setprecision(1) << 100.0 * worst / design.vdd
+              << "% of vdd)\n";
+    std::cout << "hotspot pixels (>= 90% of worst): " << hotspots.size() << " of "
+              << label.size() << "\n";
+    const std::size_t listed = std::min<std::size_t>(hotspots.size(), 8);
+    for (std::size_t i = 0; i < listed; ++i) {
+      const auto [y, x] = hotspots[i];
+      std::cout << "  (" << x << " um, " << y << " um): " << std::setprecision(3)
+                << label(y, x) * 1e3 << " mV\n";
+    }
+    if (hotspots.size() > listed) {
+      std::cout << "  ... and " << hotspots.size() - listed << " more\n";
+    }
+
+    const double limit = 0.05 * design.vdd;  // a typical 5% signoff budget
+    std::cout << "\nsignoff vs 5% budget (" << std::setprecision(1) << limit * 1e3
+              << " mV): " << (worst <= limit ? "PASS" : "VIOLATION") << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "hotspot_report failed: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,75 @@
+// Transient extension demo: take a generated PG, attach decap and clock-
+// gated switching currents, integrate with backward Euler on top of the
+// AMG-PCG engine, and compare the dynamic worst-case IR drop envelope with
+// the static analysis. Also dumps a probe-node voltage trace as CSV.
+//
+// Usage: transient_demo [image_px]
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "pg/generator.hpp"
+#include "pg/solve.hpp"
+#include "pg/transient.hpp"
+
+int main(int argc, char** argv) {
+  using namespace irf;
+  try {
+    const int px = argc > 1 ? std::atoi(argv[1]) : 32;
+    Rng rng(99);
+    pg::PgDesign design = pg::generate_fake_design(px, rng, "transient_demo");
+
+    pg::PgSolution stat = pg::golden_solve(design);
+    double worst_static = 0.0;
+    spice::NodeId worst_node = 0;
+    for (spice::NodeId n = 0; n < design.netlist.num_nodes(); ++n) {
+      if (stat.ir_drop[n] > worst_static) {
+        worst_static = stat.ir_drop[n];
+        worst_node = n;
+      }
+    }
+    std::cout << "static worst-case IR drop: " << std::fixed << std::setprecision(3)
+              << worst_static * 1e3 << " mV at " << design.netlist.node_name(worst_node)
+              << "\n";
+
+    pg::TransientActivityConfig activity;
+    activity.pulse_peak_ratio = 5.0;
+    activity.switching_fraction = 0.6;
+    pg::add_transient_activity(design, rng, activity);
+    std::cout << "attached " << design.netlist.capacitors().size() << " decap cells and "
+              << "pulse trains on ~60% of the loads\n";
+
+    pg::TransientOptions opt;
+    opt.timestep = 1e-10;
+    opt.duration = 8e-9;
+    opt.probe_nodes = {worst_node};
+    pg::TransientSolver solver(design, opt);
+    pg::TransientResult res = solver.run();
+
+    double worst_dynamic = 0.0;
+    for (double v : res.worst_ir_drop) worst_dynamic = std::max(worst_dynamic, v);
+    std::cout << "dynamic worst-case IR drop: " << worst_dynamic * 1e3 << " mV over "
+              << res.times.size() << " steps of " << opt.timestep * 1e12 << " ps ("
+              << res.total_pcg_iterations << " PCG iterations total, "
+              << std::setprecision(1)
+              << static_cast<double>(res.total_pcg_iterations) / res.times.size()
+              << " per step thanks to warm starts)\n";
+    std::cout << "dynamic / static worst ratio: " << std::setprecision(2)
+              << worst_dynamic / worst_static << "x\n";
+
+    std::ofstream trace("transient_trace.csv");
+    trace << "time_s,voltage_v\n";
+    for (std::size_t k = 0; k < res.times.size(); ++k) {
+      trace << res.times[k] << ',' << res.probe_traces[0][k] << '\n';
+    }
+    std::cout << "probe trace written to transient_trace.csv\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "transient_demo failed: " << e.what() << "\n";
+    return 1;
+  }
+}

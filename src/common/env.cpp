@@ -1,0 +1,58 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace irf {
+
+ScaleConfig make_scale_config(Scale scale) {
+  ScaleConfig c;
+  c.scale = scale;
+  if (scale == Scale::kPaper) {
+    c.image_size = 256;
+    c.num_fake_designs = 100;
+    c.num_real_designs = 20;
+    c.base_channels = 32;
+    c.epochs = 60;
+    c.rough_iters = 3;
+    c.learning_rate = 1e-3;
+  }
+  return c;
+}
+
+ScaleConfig resolve_scale_from_env() {
+  Scale scale = Scale::kCi;
+  if (const char* s = std::getenv("IRF_SCALE")) {
+    std::string v = to_lower(trim(s));
+    if (v == "paper") {
+      scale = Scale::kPaper;
+    } else if (v == "ci" || v.empty()) {
+      scale = Scale::kCi;
+    } else {
+      throw ConfigError("IRF_SCALE must be 'ci' or 'paper', got '" + v + "'");
+    }
+  }
+  ScaleConfig c = make_scale_config(scale);
+  if (const char* s = std::getenv("IRF_SEED")) {
+    try {
+      c.seed = std::stoull(s);
+    } catch (const std::exception&) {
+      throw ConfigError(std::string("IRF_SEED must be an integer, got '") + s + "'");
+    }
+  }
+  return c;
+}
+
+std::string ScaleConfig::describe() const {
+  std::ostringstream os;
+  os << "scale=" << (scale == Scale::kPaper ? "paper" : "ci") << " seed=" << seed
+     << " image=" << image_size << "px designs=" << num_fake_designs << "fake+"
+     << num_real_designs << "real base_ch=" << base_channels << " epochs=" << epochs
+     << " rough_iters=" << rough_iters << " lr=" << learning_rate;
+  return os.str();
+}
+
+}  // namespace irf

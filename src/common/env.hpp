@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file env.hpp
+/// Experiment scale handling. Every bench/example resolves a ScaleConfig at
+/// startup: `IRF_SCALE=ci` (default) runs minutes-scale configurations on a
+/// single core, `IRF_SCALE=paper` reproduces the paper-scale setup
+/// (256x256 maps, contest-sized dataset, full model widths).
+
+#include <cstdint>
+#include <string>
+
+namespace irf {
+
+/// Which preset the process is running under.
+enum class Scale { kCi, kPaper };
+
+/// Resolved experiment knobs. See DESIGN.md Section 4.
+struct ScaleConfig {
+  Scale scale = Scale::kCi;
+  std::uint64_t seed = 0x12C0FFEEull;
+
+  // Dataset geometry.
+  int image_size = 32;        ///< model resolution, divisible by 16 (paper: 256)
+  int num_fake_designs = 16;  ///< paper: 100
+  int num_real_designs = 10;  ///< paper: 20 (half held out for test)
+
+  // Model / training sizes.
+  int base_channels = 8;      ///< first-level conv width (paper-scale: 32)
+  int epochs = 5;             ///< training epochs (paper-scale: 60)
+  int rough_iters = 3;        ///< AMG-PCG iterations for the rough solution
+  double learning_rate = 2e-3;
+
+  std::string describe() const;
+};
+
+/// Read IRF_SCALE / IRF_SEED from the environment and build the config.
+ScaleConfig resolve_scale_from_env();
+
+/// Build the preset for an explicit scale (used by tests).
+ScaleConfig make_scale_config(Scale scale);
+
+}  // namespace irf

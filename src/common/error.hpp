@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file error.hpp
+/// Exception hierarchy shared by every irf library. All irf errors derive
+/// from irf::Error so callers can catch library failures with one handler
+/// while still being able to discriminate parse vs. dimension vs. numeric
+/// problems when they need to.
+
+#include <stdexcept>
+#include <string>
+
+namespace irf {
+
+/// Root of the irf exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input text (SPICE netlists, config strings).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Mismatched tensor/matrix/grid dimensions.
+class DimensionError : public Error {
+ public:
+  explicit DimensionError(const std::string& what)
+      : Error("dimension error: " + what) {}
+};
+
+/// Numerical breakdown (singular system, non-SPD matrix, NaN residual).
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what)
+      : Error("numeric error: " + what) {}
+};
+
+/// Structurally invalid model or configuration request.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what)
+      : Error("config error: " + what) {}
+};
+
+}  // namespace irf

@@ -1,0 +1,65 @@
+#include "common/gaussian.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace irf {
+
+namespace {
+std::vector<float> gaussian_kernel(double sigma) {
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<float> k(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-0.5 * (i * i) / (sigma * sigma));
+    k[static_cast<std::size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (float& v : k) v = static_cast<float>(v / sum);
+  return k;
+}
+}  // namespace
+
+GridF gaussian_blur(const GridF& grid, double sigma) {
+  if (sigma <= 0.0 || grid.empty()) return grid;
+  const std::vector<float> kernel = gaussian_kernel(sigma);
+  const int radius = static_cast<int>(kernel.size() / 2);
+  const int h = grid.height();
+  const int w = grid.width();
+
+  // Horizontal pass with border renormalization.
+  GridF tmp(h, w);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      float weight = 0.0f;
+      for (int i = -radius; i <= radius; ++i) {
+        const int xx = x + i;
+        if (xx < 0 || xx >= w) continue;
+        const float k = kernel[static_cast<std::size_t>(i + radius)];
+        acc += k * grid(y, xx);
+        weight += k;
+      }
+      tmp(y, x) = acc / weight;
+    }
+  }
+  // Vertical pass.
+  GridF out(h, w);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      float weight = 0.0f;
+      for (int i = -radius; i <= radius; ++i) {
+        const int yy = y + i;
+        if (yy < 0 || yy >= h) continue;
+        const float k = kernel[static_cast<std::size_t>(i + radius)];
+        acc += k * tmp(yy, x);
+        weight += k;
+      }
+      out(y, x) = acc / weight;
+    }
+  }
+  return out;
+}
+
+}  // namespace irf

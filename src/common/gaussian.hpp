@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file gaussian.hpp
+/// Separable Gaussian blur on Grid2D. Used by the label-distribution-
+/// smoothing training option (after PGAU) and for visualization smoothing.
+
+#include "common/grid2d.hpp"
+
+namespace irf {
+
+/// Blur `grid` with an isotropic Gaussian of standard deviation `sigma`
+/// pixels. sigma <= 0 returns the input unchanged. Border handling is
+/// renormalized (kernel weights outside the grid are dropped), so constant
+/// grids stay exactly constant and the total mass error stays small.
+GridF gaussian_blur(const GridF& grid, double sigma);
+
+}  // namespace irf

@@ -1,0 +1,166 @@
+#pragma once
+
+/// \file grid2d.hpp
+/// Dense row-major 2D grid used for every image-formatted quantity in the
+/// pipeline: feature maps, IR-drop labels, model outputs. Header-only because
+/// it is a small template used across all libraries.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace irf {
+
+/// Row-major H x W grid of T. Row index is `y` (vertical), column index `x`.
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(int height, int width, T fill_value = T{}) {
+    if (height < 0 || width < 0) {
+      throw DimensionError("Grid2D size must be non-negative, got " +
+                           std::to_string(height) + "x" + std::to_string(width));
+    }
+    height_ = height;
+    width_ = width;
+    data_.assign(static_cast<std::size_t>(height) * static_cast<std::size_t>(width),
+                 fill_value);
+  }
+
+  int height() const { return height_; }
+  int width() const { return width_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(int y, int x) {
+    check_bounds(y, x);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const T& at(int y, int x) const {
+    check_bounds(y, x);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Unchecked access for hot loops.
+  T& operator()(int y, int x) { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+  const T& operator()(int y, int x) const {
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  bool in_bounds(int y, int x) const {
+    return y >= 0 && y < height_ && x >= 0 && x < width_;
+  }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  T min_value() const {
+    T m = std::numeric_limits<T>::max();
+    for (const T& v : data_) m = std::min(m, v);
+    return m;
+  }
+  T max_value() const {
+    T m = std::numeric_limits<T>::lowest();
+    for (const T& v : data_) m = std::max(m, v);
+    return m;
+  }
+  double sum() const {
+    double s = 0.0;
+    for (const T& v : data_) s += static_cast<double>(v);
+    return s;
+  }
+  double mean() const { return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size()); }
+
+  /// Clockwise rotation by `quarter_turns` * 90 degrees. Used by the data
+  /// augmentation pass (Section III-E of the paper).
+  Grid2D rotated90(int quarter_turns) const {
+    int q = ((quarter_turns % 4) + 4) % 4;
+    if (q == 0) return *this;
+    Grid2D out;
+    if (q == 2) {
+      out = Grid2D(height_, width_);
+      for (int y = 0; y < height_; ++y)
+        for (int x = 0; x < width_; ++x)
+          out(y, x) = (*this)(height_ - 1 - y, width_ - 1 - x);
+      return out;
+    }
+    out = Grid2D(width_, height_);
+    for (int y = 0; y < height_; ++y) {
+      for (int x = 0; x < width_; ++x) {
+        if (q == 1) {
+          out(x, height_ - 1 - y) = (*this)(y, x);  // clockwise
+        } else {
+          out(width_ - 1 - x, y) = (*this)(y, x);  // counter-clockwise (q == 3)
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Bilinear resample to a new resolution (used to bring designs of
+  /// different physical extent onto the fixed model resolution).
+  Grid2D resized(int new_height, int new_width) const {
+    if (new_height <= 0 || new_width <= 0) {
+      throw DimensionError("resized target must be positive");
+    }
+    Grid2D out(new_height, new_width);
+    if (height_ == 0 || width_ == 0) return out;
+    const double sy = static_cast<double>(height_) / new_height;
+    const double sx = static_cast<double>(width_) / new_width;
+    for (int y = 0; y < new_height; ++y) {
+      double fy = (y + 0.5) * sy - 0.5;
+      int y0 = static_cast<int>(std::floor(fy));
+      double wy = fy - y0;
+      int y1 = std::clamp(y0 + 1, 0, height_ - 1);
+      y0 = std::clamp(y0, 0, height_ - 1);
+      for (int x = 0; x < new_width; ++x) {
+        double fx = (x + 0.5) * sx - 0.5;
+        int x0 = static_cast<int>(std::floor(fx));
+        double wx = fx - x0;
+        int x1 = std::clamp(x0 + 1, 0, width_ - 1);
+        x0 = std::clamp(x0, 0, width_ - 1);
+        double top = (1.0 - wx) * (*this)(y0, x0) + wx * (*this)(y0, x1);
+        double bot = (1.0 - wx) * (*this)(y1, x0) + wx * (*this)(y1, x1);
+        out(y, x) = static_cast<T>((1.0 - wy) * top + wy * bot);
+      }
+    }
+    return out;
+  }
+
+  bool same_shape(const Grid2D& other) const {
+    return height_ == other.height_ && width_ == other.width_;
+  }
+
+ private:
+  void check_bounds(int y, int x) const {
+    if (!in_bounds(y, x)) {
+      throw DimensionError("Grid2D index (" + std::to_string(y) + "," +
+                           std::to_string(x) + ") out of " + std::to_string(height_) +
+                           "x" + std::to_string(width_));
+    }
+  }
+
+  int height_ = 0;
+  int width_ = 0;
+  std::vector<T> data_;
+};
+
+using GridF = Grid2D<float>;
+
+/// Mean absolute difference between two same-shaped grids.
+inline double mean_abs_diff(const GridF& a, const GridF& b) {
+  if (!a.same_shape(b)) throw DimensionError("mean_abs_diff shape mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    s += std::abs(static_cast<double>(a.data()[i]) - b.data()[i]);
+  return a.size() ? s / static_cast<double>(a.size()) : 0.0;
+}
+
+}  // namespace irf

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file stopwatch.hpp
+/// Wall-clock stopwatch for the runtime columns of the evaluation tables.
+
+#include <chrono>
+
+namespace irf {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace irf

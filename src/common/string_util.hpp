@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file string_util.hpp
+/// Small string helpers shared by the SPICE parser and config handling.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace irf {
+
+/// Strip leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Lower-case copy (ASCII).
+std::string to_lower(std::string_view s);
+
+/// Split on any run of whitespace; empty tokens are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Split on a single delimiter character; empty tokens are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+bool starts_with_ci(std::string_view s, std::string_view prefix);
+
+}  // namespace irf

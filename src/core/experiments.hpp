@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file experiments.hpp
+/// Orchestration of the paper's evaluation (Section IV): one entry point per
+/// table/figure, shared by the bench binaries, examples and integration
+/// tests. Each run prints a self-describing report and returns structured
+/// rows so tests can assert on the shape of the results.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "core/pipeline.hpp"
+#include "train/dataset.hpp"
+
+namespace irf::core {
+
+/// One row of TABLE I (units: MAE/MIRDE in 1e-4 V, runtime in seconds).
+struct Table1Row {
+  std::string method;
+  double mae = 0.0;
+  double f1 = 0.0;
+  double runtime = 0.0;
+  double mirde = 0.0;
+};
+
+/// Table I: train and evaluate the six baselines and IR-Fusion.
+std::vector<Table1Row> run_table1(const ScaleConfig& config,
+                                  const train::DesignSet& designs, std::ostream& out);
+
+/// One point of the Fig. 7 trade-off curves at a given iteration budget.
+struct TradeoffPoint {
+  int iterations = 0;
+  double powerrush_mae = 0.0;  ///< 1e-4 V
+  double powerrush_f1 = 0.0;
+  double fusion_mae = 0.0;     ///< 1e-4 V
+  double fusion_f1 = 0.0;
+};
+
+/// Fig. 7: IR-Fusion vs PowerRush (raw AMG-PCG) at 1..max_iterations.
+std::vector<TradeoffPoint> run_tradeoff(const ScaleConfig& config,
+                                        const train::DesignSet& designs,
+                                        int max_iterations, std::ostream& out);
+
+/// One bar pair of Fig. 8 (ratios relative to the full configuration).
+struct AblationRow {
+  std::string removed;       ///< which technique was disabled
+  double mae_increase = 0.0; ///< (MAE_without - MAE_full) / MAE_full
+  double f1_decrease = 0.0;  ///< (F1_full - F1_without) / F1_full
+};
+
+/// Fig. 8: drop one technique at a time from the full IR-Fusion config.
+std::vector<AblationRow> run_ablation(const ScaleConfig& config,
+                                      const train::DesignSet& designs, std::ostream& out);
+
+/// Fig. 6 artifacts: golden vs MAUnet vs IR-Fusion maps for one test design.
+struct Fig6Result {
+  std::string design_name;
+  double maunet_mae = 0.0;  ///< 1e-4 V
+  double fusion_mae = 0.0;  ///< 1e-4 V
+  std::vector<std::string> written_files;
+};
+
+/// Train MAUnet + IR-Fusion, dump prediction maps (PGM + CSV) into
+/// `output_dir` and report per-map errors.
+Fig6Result run_fig6(const ScaleConfig& config, const train::DesignSet& designs,
+                    const std::string& output_dir, std::ostream& out);
+
+/// Evaluate a raw numerical solution (PowerRush at k iterations) against the
+/// golden labels of the given designs.
+train::AggregateMetrics evaluate_powerrush(const std::vector<train::PreparedDesign>& designs,
+                                           int iterations, int image_size);
+
+}  // namespace irf::core

@@ -1,0 +1,291 @@
+#include "core/pipeline.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "features/extractor.hpp"
+#include "models/unet.hpp"
+#include "nn/serialize.hpp"
+
+namespace irf::core {
+
+using train::FeatureView;
+using train::PreparedDesign;
+using train::Sample;
+
+IrFusionPipeline::IrFusionPipeline(PipelineConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.image_size % 16 != 0) {
+    throw ConfigError("pipeline image_size must be divisible by 16");
+  }
+  if (config_.rough_iterations < 1) {
+    throw ConfigError("pipeline needs >= 1 rough iteration");
+  }
+}
+
+FeatureView IrFusionPipeline::view() const {
+  if (!config_.use_numerical) {
+    // Without the numerical solution the hierarchy flag still applies; the
+    // non-hierarchical no-numerical view equals the baselines' structural one.
+    return config_.use_hierarchical ? FeatureView::kFusionNoNum
+                                    : FeatureView::kStructuralFlat;
+  }
+  return config_.use_hierarchical ? FeatureView::kFusionHier : FeatureView::kFusionFlat;
+}
+
+Sample IrFusionPipeline::sample_for(const PreparedDesign& prepared) const {
+  return train::make_sample(prepared, config_.rough_iterations, config_.image_size);
+}
+
+train::TrainHistory IrFusionPipeline::fit(
+    const std::vector<PreparedDesign>& train_designs) {
+  if (train_designs.empty()) throw ConfigError("fit: no training designs");
+  std::vector<Sample> samples = train::make_samples(
+      train_designs, config_.rough_iterations, config_.image_size);
+  if (config_.use_augmentation) samples = train::augment_rotations(samples);
+  if (refines_rough_solution()) {
+    // Retarget to the residual the refinement network must learn.
+    for (Sample& s : samples) {
+      for (std::size_t i = 0; i < s.label.size(); ++i) {
+        s.label.data()[i] -= s.rough_bottom.data()[i];
+      }
+    }
+  }
+  normalizer_ = train::Normalizer::fit(samples);
+
+  const int channels = train::view_channel_count(samples.front(), view());
+  model_ = models::make_ir_fusion_net(channels, config_.base_channels, rng_,
+                                      config_.use_inception, config_.use_cbam);
+
+  train::TrainOptions options;
+  options.epochs = config_.epochs;
+  options.learning_rate = config_.learning_rate;
+  options.seed = config_.seed + 1;
+  options.curriculum.enabled = config_.use_curriculum;
+  // Converge the refinement head cleanly: gentle cosine LR decay plus a
+  // little decoupled weight decay keep the learned correction's noise floor
+  // low at large iteration budgets. The decay floor stays moderate because
+  // the curriculum admits the hard (real) designs in later epochs — they
+  // still need a workable learning rate when they arrive.
+  options.lr_min_ratio = 0.4;
+  options.weight_decay = 1e-4;
+  train::TrainHistory history =
+      train::train_model(*model_, samples, view(), normalizer_, options);
+  fitted_ = true;
+  return history;
+}
+
+GridF IrFusionPipeline::analyze(const pg::PgDesign& design) const {
+  return analyze_with_diagnostics(design).prediction;
+}
+
+IrFusionPipeline::Diagnostics IrFusionPipeline::analyze_with_diagnostics(
+    const pg::PgDesign& design) const {
+  if (!fitted_) throw ConfigError("analyze: pipeline not fitted");
+  Diagnostics diag;
+  diag.rough_iterations = config_.rough_iterations;
+
+  // Numerical stage: MNA assembly + AMG setup + rough PCG iterations.
+  Stopwatch solve_timer;
+  pg::PgSolver solver(design);
+  const pg::PgSolution rough = solver.solve_rough(config_.rough_iterations);
+  diag.solve_seconds = solve_timer.seconds();
+
+  // Fusion stage: hierarchical numerical-structural features + inference.
+  Stopwatch infer_timer;
+  features::FeatureOptions opts;
+  opts.image_size = config_.image_size;
+  opts.hierarchical = true;
+  opts.include_numerical = true;
+  Sample sample;
+  sample.design_name = design.name;
+  sample.kind = design.kind;
+  sample.hier = features::extract_features(design, &rough, opts);
+  opts.hierarchical = false;
+  sample.flat = features::extract_features(design, &rough, opts);
+  sample.label = GridF(config_.image_size, config_.image_size, 0.0f);  // unused
+  sample.rough_bottom = features::label_map(design, rough, config_.image_size);
+
+  diag.rough = sample.rough_bottom;
+  diag.prediction = predict(sample);
+  diag.inference_seconds = infer_timer.seconds();
+
+  diag.correction = diag.prediction;
+  for (std::size_t i = 0; i < diag.correction.size(); ++i) {
+    diag.correction.data()[i] -= diag.rough.data()[i];
+  }
+  return diag;
+}
+
+GridF IrFusionPipeline::analyze_tiled(const pg::PgDesign& design, int native_size,
+                                      int overlap) const {
+  if (!fitted_) throw ConfigError("analyze_tiled: pipeline not fitted");
+  const int tile = config_.image_size;
+  if (native_size < tile) {
+    throw ConfigError("analyze_tiled: native size smaller than the training tile");
+  }
+  if (native_size % 16 != 0) {
+    throw ConfigError("analyze_tiled: native size must be divisible by 16");
+  }
+  if (overlap < 0) overlap = tile / 4;
+  if (overlap >= tile) throw ConfigError("analyze_tiled: overlap must be < tile size");
+
+  // Numerical stage + features once, at the native resolution.
+  pg::PgSolver solver(design);
+  const pg::PgSolution rough = solver.solve_rough(config_.rough_iterations);
+  features::FeatureOptions opts;
+  opts.image_size = native_size;
+  opts.hierarchical = true;
+  opts.include_numerical = true;
+  const features::FeatureStack hier = features::extract_features(design, &rough, opts);
+  opts.hierarchical = false;
+  const features::FeatureStack flat = features::extract_features(design, &rough, opts);
+  const GridF rough_native = features::label_map(design, rough, native_size);
+
+  auto crop = [](const GridF& src, int y0, int x0, int size) {
+    GridF out(size, size);
+    for (int y = 0; y < size; ++y)
+      for (int x = 0; x < size; ++x) out(y, x) = src(y0 + y, x0 + x);
+    return out;
+  };
+
+  GridF accum(native_size, native_size, 0.0f);
+  GridF weight(native_size, native_size, 0.0f);
+  const int stride = tile - overlap;
+  for (int y0 = 0; y0 < native_size; y0 += stride) {
+    const int ty = std::min(y0, native_size - tile);
+    for (int x0 = 0; x0 < native_size; x0 += stride) {
+      const int tx = std::min(x0, native_size - tile);
+      Sample s;
+      s.design_name = design.name;
+      s.kind = design.kind;
+      s.hier.names = hier.names;
+      s.flat.names = flat.names;
+      for (const GridF& ch : hier.channels) s.hier.channels.push_back(crop(ch, ty, tx, tile));
+      for (const GridF& ch : flat.channels) s.flat.channels.push_back(crop(ch, ty, tx, tile));
+      s.label = GridF(tile, tile, 0.0f);
+      s.rough_bottom = crop(rough_native, ty, tx, tile);
+      const GridF pred = predict(s);
+      // Triangular blending weight peaks at the tile centre so overlaps
+      // fade smoothly.
+      for (int y = 0; y < tile; ++y) {
+        const float wy = 1.0f + std::min(y, tile - 1 - y);
+        for (int x = 0; x < tile; ++x) {
+          const float wx = 1.0f + std::min(x, tile - 1 - x);
+          accum(ty + y, tx + x) += pred(y, x) * wy * wx;
+          weight(ty + y, tx + x) += wy * wx;
+        }
+      }
+      if (tx >= native_size - tile) break;
+    }
+    if (ty >= native_size - tile) break;
+  }
+  for (std::size_t i = 0; i < accum.size(); ++i) accum.data()[i] /= weight.data()[i];
+  return accum;
+}
+
+GridF IrFusionPipeline::predict(const Sample& sample) const {
+  GridF out = train::predict_volts(*model_, sample, view(), normalizer_);
+  if (refines_rough_solution()) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out.data()[i] += sample.rough_bottom.data()[i];
+    }
+  }
+  return out;
+}
+
+namespace {
+constexpr std::uint32_t kPipelineMagic = 0x49524650;  // "IRFP"
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+void read_pod(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+}
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+std::string read_string(std::istream& in) {
+  std::uint32_t n = 0;
+  read_pod(in, n);
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+}  // namespace
+
+void IrFusionPipeline::save(const std::string& path) const {
+  if (!fitted_) throw ConfigError("save: pipeline not fitted");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open pipeline checkpoint for write: " + path);
+  write_pod(out, kPipelineMagic);
+  write_pod(out, config_);
+  write_pod(out, model_->in_channels());
+  const auto& scales = normalizer_.scales();
+  write_pod(out, static_cast<std::uint32_t>(scales.size()));
+  for (const auto& [name, scale] : scales) {
+    write_string(out, name);
+    write_pod(out, scale);
+  }
+  nn::save_parameters(model_->parameters(), out);
+  nn::save_buffers(model_->buffers(), out);
+  if (!out) throw Error("pipeline checkpoint write failed: " + path);
+}
+
+IrFusionPipeline IrFusionPipeline::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open pipeline checkpoint for read: " + path);
+  std::uint32_t magic = 0;
+  read_pod(in, magic);
+  if (magic != kPipelineMagic) throw ParseError("not a pipeline checkpoint: " + path);
+  PipelineConfig config;
+  read_pod(in, config);
+  IrFusionPipeline pipeline(config);
+  int channels = 0;
+  read_pod(in, channels);
+  std::uint32_t num_scales = 0;
+  read_pod(in, num_scales);
+  std::map<std::string, float> scales;
+  for (std::uint32_t i = 0; i < num_scales; ++i) {
+    std::string name = read_string(in);
+    float scale = 0.0f;
+    read_pod(in, scale);
+    scales.emplace(std::move(name), scale);
+  }
+  if (!in) throw ParseError("pipeline checkpoint truncated: " + path);
+  pipeline.normalizer_ = train::Normalizer::from_scales(std::move(scales));
+  pipeline.model_ = models::make_ir_fusion_net(channels, config.base_channels,
+                                               pipeline.rng_, config.use_inception,
+                                               config.use_cbam);
+  std::vector<nn::Tensor> params = pipeline.model_->parameters();
+  nn::load_parameters(params, in);
+  nn::load_buffers(pipeline.model_->buffers(), in);
+  pipeline.model_->set_training(false);
+  pipeline.fitted_ = true;
+  return pipeline;
+}
+
+train::AggregateMetrics IrFusionPipeline::evaluate(
+    const std::vector<PreparedDesign>& test_designs) const {
+  if (!fitted_) throw ConfigError("evaluate: pipeline not fitted");
+  if (test_designs.empty()) throw ConfigError("evaluate: no test designs");
+  std::vector<train::MapMetrics> per_design;
+  double runtime = 0.0;
+  for (const PreparedDesign& prepared : test_designs) {
+    Stopwatch timer;
+    Sample sample = sample_for(prepared);  // rough solve + feature fusion
+    GridF pred = predict(sample);
+    runtime += timer.seconds();
+    per_design.push_back(train::evaluate_map(pred, sample.label));
+  }
+  train::AggregateMetrics agg = train::aggregate(per_design);
+  agg.runtime_seconds = runtime / static_cast<double>(test_designs.size());
+  return agg;
+}
+
+}  // namespace irf::core

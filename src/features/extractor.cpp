@@ -1,0 +1,271 @@
+#include "features/extractor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "common/error.hpp"
+#include "features/scatter.hpp"
+#include "spice/topology.hpp"
+
+namespace irf::features {
+
+using pg::PgDesign;
+using pg::PgSolution;
+using spice::Netlist;
+using spice::NodeId;
+
+namespace {
+
+struct PixelMapper {
+  double scale_x;  // pixels per nm
+  double scale_y;
+
+  PixelMapper(const PgDesign& design, int image_size) {
+    if (design.width_nm <= 0 || design.height_nm <= 0) {
+      throw DimensionError("design extent must be positive for feature extraction");
+    }
+    // The last node coordinate (== extent) must land on the last pixel.
+    scale_x = static_cast<double>(image_size - 1) / static_cast<double>(design.width_nm);
+    scale_y = static_cast<double>(image_size - 1) / static_cast<double>(design.height_nm);
+  }
+
+  double px(std::int64_t x_nm) const { return static_cast<double>(x_nm) * scale_x; }
+  double py(std::int64_t y_nm) const { return static_cast<double>(y_nm) * scale_y; }
+};
+
+/// Layer metal index -> dense index (bottom first).
+std::map<int, int> layer_index_map(const Netlist& netlist) {
+  std::map<int, int> out;
+  for (int metal : netlist.layers()) {
+    const int idx = static_cast<int>(out.size());
+    out.emplace(metal, idx);
+  }
+  if (out.empty()) throw DimensionError("netlist has no coordinate-named nodes");
+  return out;
+}
+
+GridF collapse_average(const std::vector<GridF>& maps) {
+  GridF out(maps.front().height(), maps.front().width(), 0.0f);
+  for (const GridF& m : maps) {
+    for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] += m.data()[i];
+  }
+  const float inv = 1.0f / static_cast<float>(maps.size());
+  for (float& v : out.data()) v *= inv;
+  return out;
+}
+
+GridF collapse_sum(const std::vector<GridF>& maps) {
+  GridF out(maps.front().height(), maps.front().width(), 0.0f);
+  for (const GridF& m : maps) {
+    for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] += m.data()[i];
+  }
+  return out;
+}
+
+void append(FeatureStack& stack, std::vector<GridF> maps,
+            const std::vector<std::string>& layer_names, const std::string& prefix,
+            bool hierarchical, bool extensive) {
+  if (hierarchical) {
+    for (std::size_t i = 0; i < maps.size(); ++i) {
+      stack.channels.push_back(std::move(maps[i]));
+      stack.names.push_back(prefix + "_" + layer_names[i]);
+    }
+  } else {
+    stack.channels.push_back(extensive ? collapse_sum(maps) : collapse_average(maps));
+    stack.names.push_back(prefix + "_all");
+  }
+}
+
+}  // namespace
+
+std::vector<double> shortest_path_resistance(const PgDesign& design) {
+  spice::CircuitTopology topo(design.netlist);
+  const int n = topo.num_nodes();
+  std::vector<double> dist(static_cast<std::size_t>(n),
+                           std::numeric_limits<double>::infinity());
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (NodeId pad : topo.pad_nodes()) {
+    dist[static_cast<std::size_t>(pad)] = 0.0;
+    heap.push({0.0, pad});
+  }
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const spice::Wire& w : topo.wires_of(u)) {
+      if (w.other == spice::kGround) continue;
+      const double nd = d + w.ohms;
+      if (nd < dist[static_cast<std::size_t>(w.other)]) {
+        dist[static_cast<std::size_t>(w.other)] = nd;
+        heap.push({nd, w.other});
+      }
+    }
+  }
+  return dist;
+}
+
+FeatureStack extract_features(const PgDesign& design, const PgSolution* rough,
+                              const FeatureOptions& options) {
+  if (options.image_size < 8) throw DimensionError("feature image size too small");
+  if (options.include_numerical && rough == nullptr) {
+    throw ConfigError("numerical features requested but no rough solution given");
+  }
+  const Netlist& net = design.netlist;
+  const PixelMapper mapper(design, options.image_size);
+  const std::map<int, int> layer_of = layer_index_map(net);
+  const int num_layers = static_cast<int>(layer_of.size());
+  const int size = options.image_size;
+
+  std::vector<std::string> layer_names;
+  for (const auto& [metal, idx] : layer_of) {
+    (void)idx;
+    layer_names.push_back("m" + std::to_string(metal));
+  }
+
+  FeatureStack stack;
+
+  // --- Numerical IR maps (rough AMG-PCG solution), per layer --------------
+  if (options.include_numerical) {
+    if (rough->ir_drop.size() != static_cast<std::size_t>(net.num_nodes())) {
+      throw DimensionError("rough solution does not match netlist");
+    }
+    std::vector<std::vector<SamplePoint>> pts(static_cast<std::size_t>(num_layers));
+    for (NodeId id = 0; id < net.num_nodes(); ++id) {
+      const auto& coords = net.node_coords(id);
+      if (!coords) continue;
+      pts[layer_of.at(coords->layer)].push_back(
+          {mapper.px(coords->x_nm), mapper.py(coords->y_nm), rough->ir_drop[id]});
+    }
+    std::vector<GridF> maps;
+    for (int l = 0; l < num_layers; ++l) {
+      maps.push_back(scatter_to_grid(pts[l], size, size, ScatterMode::kAverage));
+    }
+    if (options.hierarchical) {
+      append(stack, std::move(maps), layer_names, "num_ir", true, false);
+    } else {
+      // Non-hierarchical view keeps only the bottom-layer numerical map.
+      stack.channels.push_back(std::move(maps.front()));
+      stack.names.push_back("num_ir_bottom");
+    }
+  }
+
+  // --- Per-layer wire statistics ------------------------------------------
+  // Conductance share per layer drives the current allocation; density and
+  // resistance maps rasterize the stripes themselves.
+  std::vector<double> layer_conductance(static_cast<std::size_t>(num_layers), 0.0);
+  std::vector<GridF> density(static_cast<std::size_t>(num_layers), GridF(size, size, 0.0f));
+  std::vector<GridF> resistance(static_cast<std::size_t>(num_layers),
+                                GridF(size, size, 0.0f));
+  for (const spice::Resistor& r : net.resistors()) {
+    if (r.a == spice::kGround || r.b == spice::kGround) continue;
+    const auto& ca = net.node_coords(r.a);
+    const auto& cb = net.node_coords(r.b);
+    if (!ca || !cb || ca->layer != cb->layer) continue;  // vias handled implicitly
+    const int l = layer_of.at(ca->layer);
+    layer_conductance[l] += 1.0 / r.ohms;
+    rasterize_segment(density[l], mapper.px(ca->x_nm), mapper.py(ca->y_nm),
+                      mapper.px(cb->x_nm), mapper.py(cb->y_nm), 1.0);
+    rasterize_segment(resistance[l], mapper.px(ca->x_nm), mapper.py(ca->y_nm),
+                      mapper.px(cb->x_nm), mapper.py(cb->y_nm), r.ohms);
+  }
+  double total_conductance = 0.0;
+  for (double g : layer_conductance) total_conductance += g;
+  if (total_conductance <= 0.0) total_conductance = 1.0;
+
+  // --- Current maps: loads splat on the grid, allocated per layer by the
+  // layer's conductance share (Section III-C: "allocated proportionally
+  // based on the contribution from each layer, which is tied to resistance").
+  {
+    std::vector<SamplePoint> load_pts;
+    for (const spice::CurrentSource& i : net.current_sources()) {
+      const auto& c = net.node_coords(i.node);
+      if (!c) continue;
+      load_pts.push_back({mapper.px(c->x_nm), mapper.py(c->y_nm), i.amps});
+    }
+    GridF total = scatter_to_grid(load_pts, size, size, ScatterMode::kSum);
+    std::vector<GridF> maps;
+    for (int l = 0; l < num_layers; ++l) {
+      GridF m = total;
+      const float share = static_cast<float>(layer_conductance[l] / total_conductance);
+      for (float& v : m.data()) v *= share;
+      maps.push_back(std::move(m));
+    }
+    append(stack, std::move(maps), layer_names, "current", options.hierarchical, true);
+  }
+
+  // --- Effective distance to pads (one map) --------------------------------
+  {
+    spice::CircuitTopology topo(net);
+    std::vector<std::pair<double, double>> pad_px;
+    for (NodeId pad : topo.pad_nodes()) {
+      const auto& c = net.node_coords(pad);
+      if (c) pad_px.emplace_back(mapper.px(c->x_nm), mapper.py(c->y_nm));
+    }
+    GridF eff(size, size, 0.0f);
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        double inv_sum = 0.0;
+        for (const auto& [px, py] : pad_px) {
+          const double d = std::max(0.5, std::hypot(x - px, y - py));
+          inv_sum += 1.0 / d;
+        }
+        eff(y, x) = inv_sum > 0.0 ? static_cast<float>(1.0 / inv_sum) : 0.0f;
+      }
+    }
+    stack.channels.push_back(std::move(eff));
+    stack.names.push_back("eff_dist");
+  }
+
+  append(stack, std::move(density), layer_names, "pdn_density", options.hierarchical,
+         true);
+  append(stack, std::move(resistance), layer_names, "resistance", options.hierarchical,
+         true);
+
+  // --- Shortest-path resistance maps ---------------------------------------
+  {
+    std::vector<double> spr = shortest_path_resistance(design);
+    std::vector<std::vector<SamplePoint>> pts(static_cast<std::size_t>(num_layers));
+    for (NodeId id = 0; id < net.num_nodes(); ++id) {
+      const auto& coords = net.node_coords(id);
+      if (!coords || !std::isfinite(spr[static_cast<std::size_t>(id)])) continue;
+      pts[layer_of.at(coords->layer)].push_back(
+          {mapper.px(coords->x_nm), mapper.py(coords->y_nm), spr[id]});
+    }
+    std::vector<GridF> maps;
+    for (int l = 0; l < num_layers; ++l) {
+      maps.push_back(scatter_to_grid(pts[l], size, size, ScatterMode::kAverage));
+    }
+    append(stack, std::move(maps), layer_names, "sp_resistance", options.hierarchical,
+           false);
+  }
+
+  return stack;
+}
+
+GridF bottom_layer_map(const PgDesign& design, const linalg::Vec& node_values,
+                       int image_size) {
+  const Netlist& net = design.netlist;
+  if (node_values.size() != static_cast<std::size_t>(net.num_nodes())) {
+    throw DimensionError("node values do not match netlist");
+  }
+  const PixelMapper mapper(design, image_size);
+  const std::map<int, int> layer_of = layer_index_map(net);
+  const int bottom_metal = layer_of.begin()->first;
+  std::vector<SamplePoint> pts;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const auto& coords = net.node_coords(id);
+    if (!coords || coords->layer != bottom_metal) continue;
+    pts.push_back({mapper.px(coords->x_nm), mapper.py(coords->y_nm), node_values[id]});
+  }
+  return scatter_to_grid(pts, image_size, image_size, ScatterMode::kAverage);
+}
+
+GridF label_map(const PgDesign& design, const PgSolution& golden, int image_size) {
+  return bottom_layer_map(design, golden.ir_drop, image_size);
+}
+
+}  // namespace irf::features

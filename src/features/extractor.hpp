@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file extractor.hpp
+/// Hierarchical numerical-structural information fusion (Section III-C).
+/// Turns a PG design plus (optionally) a rough numerical solution into the
+/// stack of per-layer feature maps consumed by the models:
+///
+///  * per-layer numerical IR-drop maps from the rough AMG-PCG solution,
+///  * per-layer current maps (loads allocated by layer conductance share),
+///  * one effective-distance-to-pads map,
+///  * per-layer PDN density maps (rasterized stripe coverage),
+///  * per-layer resistance maps (each resistor spread over its pixels),
+///  * per-layer shortest-path-resistance maps (multi-source Dijkstra from
+///    the pads with wire resistance as edge weight).
+///
+/// With `hierarchical == false` the per-layer maps are collapsed into one
+/// map each — the "PG as a whole map" view of prior ML methods, used by the
+/// Fig. 8 ablation.
+
+#include <string>
+#include <vector>
+
+#include "common/grid2d.hpp"
+#include "pg/design.hpp"
+#include "pg/solve.hpp"
+
+namespace irf::features {
+
+struct FeatureOptions {
+  int image_size = 40;
+  bool include_numerical = true;  ///< ablation: "w/o Num. Solu."
+  bool hierarchical = true;       ///< ablation: "w/o hierarchical"
+};
+
+/// Named channel stack; all channels share image_size x image_size shape.
+struct FeatureStack {
+  std::vector<GridF> channels;
+  std::vector<std::string> names;
+
+  int size() const { return static_cast<int>(channels.size()); }
+};
+
+/// Build the input features. `rough` may be null only when
+/// `options.include_numerical` is false.
+FeatureStack extract_features(const pg::PgDesign& design, const pg::PgSolution* rough,
+                              const FeatureOptions& options);
+
+/// Golden label: bottom-layer IR drop image (volts).
+GridF label_map(const pg::PgDesign& design, const pg::PgSolution& golden,
+                int image_size);
+
+/// Generic bottom-layer image from any per-node scalar (indexed by netlist
+/// node id) — used for transient worst-case envelopes and custom overlays.
+GridF bottom_layer_map(const pg::PgDesign& design, const linalg::Vec& node_values,
+                       int image_size);
+
+/// Per-node shortest-path resistance to the nearest pad (ohms), computed by
+/// a multi-source Dijkstra over the wire graph. Exposed for tests.
+std::vector<double> shortest_path_resistance(const pg::PgDesign& design);
+
+}  // namespace irf::features

@@ -1,0 +1,114 @@
+#include "features/scatter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace irf::features {
+
+GridF scatter_to_grid(const std::vector<SamplePoint>& points, int height, int width,
+                      ScatterMode mode) {
+  if (height <= 0 || width <= 0) throw DimensionError("scatter target must be positive");
+  GridF value(height, width, 0.0f);
+  GridF weight(height, width, 0.0f);
+  for (const SamplePoint& p : points) {
+    // Clamp into the grid so boundary nodes land on the border pixel.
+    const double px = std::clamp(p.x, 0.0, static_cast<double>(width) - 1.0);
+    const double py = std::clamp(p.y, 0.0, static_cast<double>(height) - 1.0);
+    const int x0 = static_cast<int>(std::floor(px));
+    const int y0 = static_cast<int>(std::floor(py));
+    const double fx = px - x0;
+    const double fy = py - y0;
+    const int x1 = std::min(x0 + 1, width - 1);
+    const int y1 = std::min(y0 + 1, height - 1);
+    const double w00 = (1 - fx) * (1 - fy);
+    const double w10 = fx * (1 - fy);
+    const double w01 = (1 - fx) * fy;
+    const double w11 = fx * fy;
+    value(y0, x0) += static_cast<float>(w00 * p.value);
+    value(y0, x1) += static_cast<float>(w10 * p.value);
+    value(y1, x0) += static_cast<float>(w01 * p.value);
+    value(y1, x1) += static_cast<float>(w11 * p.value);
+    weight(y0, x0) += static_cast<float>(w00);
+    weight(y0, x1) += static_cast<float>(w10);
+    weight(y1, x0) += static_cast<float>(w01);
+    weight(y1, x1) += static_cast<float>(w11);
+  }
+  if (mode == ScatterMode::kSum) return value;
+
+  Grid2D<unsigned char> filled(height, width, 0);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (weight(y, x) > 1e-9f) {
+        value(y, x) /= weight(y, x);
+        filled(y, x) = 1;
+      }
+    }
+  }
+  fill_holes(value, filled);
+  return value;
+}
+
+void fill_holes(GridF& grid, Grid2D<unsigned char>& filled) {
+  if (!grid.same_shape(GridF(filled.height(), filled.width()))) {
+    throw DimensionError("fill_holes mask shape mismatch");
+  }
+  const int h = grid.height();
+  const int w = grid.width();
+  bool any_filled = false;
+  for (int y = 0; y < h && !any_filled; ++y)
+    for (int x = 0; x < w && !any_filled; ++x) any_filled = filled(y, x) != 0;
+  if (!any_filled) return;  // nothing to diffuse from; leave zeros
+
+  // Jacobi-style diffusion: each pass fills pixels adjacent to filled ones.
+  // Bounded by the grid diameter; typical layers need only a few passes.
+  for (int pass = 0; pass < h + w; ++pass) {
+    bool changed = false;
+    Grid2D<unsigned char> next = filled;
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        if (filled(y, x)) continue;
+        float sum = 0.0f;
+        int count = 0;
+        auto probe = [&](int yy, int xx) {
+          if (yy >= 0 && yy < h && xx >= 0 && xx < w && filled(yy, xx)) {
+            sum += grid(yy, xx);
+            ++count;
+          }
+        };
+        probe(y - 1, x);
+        probe(y + 1, x);
+        probe(y, x - 1);
+        probe(y, x + 1);
+        if (count > 0) {
+          grid(y, x) = sum / static_cast<float>(count);
+          next(y, x) = 1;
+          changed = true;
+        }
+      }
+    }
+    filled = next;
+    if (!changed) break;
+  }
+}
+
+void rasterize_segment(GridF& grid, double x0, double y0, double x1, double y1,
+                       double value) {
+  const int h = grid.height();
+  const int w = grid.width();
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  const double len = std::hypot(dx, dy);
+  // One sample per pixel of length, value spread uniformly along the run.
+  const int steps = std::max(1, static_cast<int>(std::ceil(len)));
+  const double per_step = value / (steps + 1);
+  for (int s = 0; s <= steps; ++s) {
+    const double t = static_cast<double>(s) / steps;
+    const int px = std::clamp(static_cast<int>(std::lround(x0 + t * dx)), 0, w - 1);
+    const int py = std::clamp(static_cast<int>(std::lround(y0 + t * dy)), 0, h - 1);
+    grid(py, px) += static_cast<float>(per_step);
+  }
+}
+
+}  // namespace irf::features

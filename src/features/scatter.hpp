@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file scatter.hpp
+/// Rasterization helpers that put scattered circuit quantities onto the
+/// fixed pixel grid (Section III-C: "every node is planted into the grid").
+
+#include <vector>
+
+#include "common/grid2d.hpp"
+
+namespace irf::features {
+
+/// A value at a continuous pixel-space position.
+struct SamplePoint {
+  double x = 0.0;  ///< pixel coordinates (may be fractional)
+  double y = 0.0;
+  double value = 0.0;
+};
+
+/// How scattered samples combine into a pixel.
+enum class ScatterMode {
+  kAverage,  ///< intensive quantities (voltage, distance): weighted mean
+  kSum,      ///< extensive quantities (current): bilinear mass splat
+};
+
+/// Splat samples with bilinear weights. For kAverage, pixels that received
+/// no sample are filled by diffusion from filled neighbours so coarse layers
+/// (few nodes) still produce dense maps.
+GridF scatter_to_grid(const std::vector<SamplePoint>& points, int height, int width,
+                      ScatterMode mode);
+
+/// Diffusion fill: repeatedly assign each unfilled pixel the mean of its
+/// filled 4-neighbours until every pixel is filled. `filled` is updated.
+void fill_holes(GridF& grid, Grid2D<unsigned char>& filled);
+
+/// Add `value` to every pixel under the segment (x0,y0)-(x1,y1), given in
+/// pixel coordinates. Used for wire density and resistance maps.
+void rasterize_segment(GridF& grid, double x0, double y0, double x1, double y1,
+                       double value);
+
+}  // namespace irf::features

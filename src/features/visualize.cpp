@@ -1,0 +1,29 @@
+#include "features/visualize.hpp"
+
+#include <filesystem>
+#include <iomanip>
+#include <sstream>
+
+#include "common/image_io.hpp"
+
+namespace irf::features {
+
+std::vector<std::string> write_feature_stack(const FeatureStack& stack,
+                                             const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  std::vector<std::string> written;
+  for (int c = 0; c < stack.size(); ++c) {
+    std::ostringstream stem;
+    stem << directory << '/' << std::setw(2) << std::setfill('0') << c << '_'
+         << stack.names[static_cast<std::size_t>(c)];
+    const std::string pgm = stem.str() + ".pgm";
+    const std::string csv = stem.str() + ".csv";
+    write_pgm(stack.channels[static_cast<std::size_t>(c)], pgm);
+    write_csv(stack.channels[static_cast<std::size_t>(c)], csv);
+    written.push_back(pgm);
+    written.push_back(csv);
+  }
+  return written;
+}
+
+}  // namespace irf::features

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file visualize.hpp
+/// Debug/visualization helpers: dump a feature stack (every channel as PGM
+/// and CSV) so the hierarchical fusion inputs can be inspected by eye.
+
+#include <string>
+#include <vector>
+
+#include "features/extractor.hpp"
+
+namespace irf::features {
+
+/// Write one file pair per channel under `directory` (created if needed),
+/// named `<index>_<channel-name>.{pgm,csv}`. Returns the written paths.
+std::vector<std::string> write_feature_stack(const FeatureStack& stack,
+                                             const std::string& directory);
+
+}  // namespace irf::features

@@ -1,0 +1,31 @@
+#include "linalg/coo.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace irf::linalg {
+
+TripletBuilder::TripletBuilder(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows < 0 || cols < 0) throw DimensionError("TripletBuilder size negative");
+}
+
+void TripletBuilder::add(int row, int col, double value) {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+    throw DimensionError("triplet (" + std::to_string(row) + "," + std::to_string(col) +
+                         ") outside " + std::to_string(rows_) + "x" +
+                         std::to_string(cols_));
+  }
+  triplets_.push_back({row, col, value});
+}
+
+void TripletBuilder::stamp_conductance(int a, int b, double g) {
+  add(a, a, g);
+  add(b, b, g);
+  add(a, b, -g);
+  add(b, a, -g);
+}
+
+void TripletBuilder::stamp_grounded_conductance(int a, double g) { add(a, a, g); }
+
+}  // namespace irf::linalg

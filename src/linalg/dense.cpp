@@ -1,0 +1,92 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace irf::linalg {
+
+DenseMatrix::DenseMatrix(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows < 0 || cols < 0) throw DimensionError("DenseMatrix size negative");
+  data_.assign(static_cast<std::size_t>(rows) * cols, 0.0);
+}
+
+DenseMatrix DenseMatrix::from_csr(const CsrMatrix& a) {
+  DenseMatrix m(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      m.at(r, a.col_idx()[k]) += a.values()[k];
+    }
+  }
+  return m;
+}
+
+double& DenseMatrix::at(int r, int c) {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+    throw DimensionError("DenseMatrix::at out of range");
+  }
+  return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+double DenseMatrix::at(int r, int c) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+    throw DimensionError("DenseMatrix::at out of range");
+  }
+  return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+Vec DenseMatrix::multiply(const Vec& x) const {
+  if (static_cast<int>(x.size()) != cols_) {
+    throw DimensionError("DenseMatrix::multiply size mismatch");
+  }
+  Vec y(static_cast<std::size_t>(rows_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (int c = 0; c < cols_; ++c) s += data_[static_cast<std::size_t>(r) * cols_ + c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+CholeskyFactor::CholeskyFactor(const DenseMatrix& a) : n_(a.rows()) {
+  if (a.rows() != a.cols()) throw DimensionError("Cholesky needs a square matrix");
+  l_.assign(static_cast<std::size_t>(n_) * n_, 0.0);
+  for (int j = 0; j < n_; ++j) {
+    double d = a.at(j, j);
+    for (int k = 0; k < j; ++k) d -= l_[static_cast<std::size_t>(j) * n_ + k] *
+                                      l_[static_cast<std::size_t>(j) * n_ + k];
+    if (d <= 0.0 || !std::isfinite(d)) {
+      throw NumericError("Cholesky pivot " + std::to_string(j) +
+                         " non-positive: matrix is not SPD");
+    }
+    const double ljj = std::sqrt(d);
+    l_[static_cast<std::size_t>(j) * n_ + j] = ljj;
+    for (int i = j + 1; i < n_; ++i) {
+      double s = a.at(i, j);
+      for (int k = 0; k < j; ++k) s -= l_[static_cast<std::size_t>(i) * n_ + k] *
+                                       l_[static_cast<std::size_t>(j) * n_ + k];
+      l_[static_cast<std::size_t>(i) * n_ + j] = s / ljj;
+    }
+  }
+}
+
+Vec CholeskyFactor::solve(const Vec& b) const {
+  if (static_cast<int>(b.size()) != n_) throw DimensionError("Cholesky solve size mismatch");
+  Vec y(b);
+  // Forward: L y = b.
+  for (int i = 0; i < n_; ++i) {
+    double s = y[i];
+    for (int k = 0; k < i; ++k) s -= l_[static_cast<std::size_t>(i) * n_ + k] * y[k];
+    y[i] = s / l_[static_cast<std::size_t>(i) * n_ + i];
+  }
+  // Backward: L^T x = y.
+  for (int i = n_ - 1; i >= 0; --i) {
+    double s = y[i];
+    for (int k = i + 1; k < n_; ++k) s -= l_[static_cast<std::size_t>(k) * n_ + i] * y[k];
+    y[i] = s / l_[static_cast<std::size_t>(i) * n_ + i];
+  }
+  return y;
+}
+
+}  // namespace irf::linalg

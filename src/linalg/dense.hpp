@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file dense.hpp
+/// Small dense matrices and a Cholesky factorization. Used as the exact
+/// coarse-level solver at the bottom of the AMG hierarchy and as the golden
+/// reference for solver tests on small systems.
+
+#include <vector>
+
+#include "linalg/csr.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace irf::linalg {
+
+/// Row-major dense n x m matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int rows, int cols);
+
+  static DenseMatrix from_csr(const CsrMatrix& a);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& at(int r, int c);
+  double at(int r, int c) const;
+
+  Vec multiply(const Vec& x) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive definite matrix.
+/// Throws NumericError if a non-positive pivot is encountered.
+class CholeskyFactor {
+ public:
+  explicit CholeskyFactor(const DenseMatrix& a);
+
+  /// Solve A x = b via forward/back substitution.
+  Vec solve(const Vec& b) const;
+
+  int size() const { return n_; }
+
+ private:
+  int n_ = 0;
+  std::vector<double> l_;  // lower triangle, row-major full storage
+};
+
+}  // namespace irf::linalg

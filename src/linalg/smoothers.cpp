@@ -1,0 +1,73 @@
+#include "linalg/smoothers.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace irf::linalg {
+
+namespace {
+void check_sizes(const CsrMatrix& a, const Vec& b, const Vec& x) {
+  if (a.rows() != a.cols()) throw DimensionError("smoother needs square matrix");
+  if (static_cast<int>(b.size()) != a.rows() || static_cast<int>(x.size()) != a.rows()) {
+    throw DimensionError("smoother vector size mismatch");
+  }
+}
+}  // namespace
+
+void jacobi_sweep(const CsrMatrix& a, const Vec& b, Vec& x, double omega) {
+  check_sizes(a, b, x);
+  Vec r = subtract(b, a.multiply(x));
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& v = a.values();
+  for (int i = 0; i < a.rows(); ++i) {
+    double diag = 0.0;
+    for (int k = rp[i]; k < rp[i + 1]; ++k) {
+      if (ci[k] == i) diag = v[k];
+    }
+    if (diag == 0.0) throw NumericError("jacobi: zero diagonal at row " + std::to_string(i));
+    x[i] += omega * r[i] / diag;
+  }
+}
+
+namespace {
+void gs_sweep(const CsrMatrix& a, const Vec& b, Vec& x, bool forward) {
+  check_sizes(a, b, x);
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& v = a.values();
+  const int n = a.rows();
+  for (int step = 0; step < n; ++step) {
+    const int i = forward ? step : n - 1 - step;
+    double s = b[i];
+    double diag = 0.0;
+    for (int k = rp[i]; k < rp[i + 1]; ++k) {
+      if (ci[k] == i) {
+        diag = v[k];
+      } else {
+        s -= v[k] * x[ci[k]];
+      }
+    }
+    if (diag == 0.0) {
+      throw NumericError("gauss-seidel: zero diagonal at row " + std::to_string(i));
+    }
+    x[i] = s / diag;
+  }
+}
+}  // namespace
+
+void gauss_seidel_forward(const CsrMatrix& a, const Vec& b, Vec& x) {
+  gs_sweep(a, b, x, /*forward=*/true);
+}
+
+void gauss_seidel_backward(const CsrMatrix& a, const Vec& b, Vec& x) {
+  gs_sweep(a, b, x, /*forward=*/false);
+}
+
+void symmetric_gauss_seidel(const CsrMatrix& a, const Vec& b, Vec& x) {
+  gs_sweep(a, b, x, /*forward=*/true);
+  gs_sweep(a, b, x, /*forward=*/false);
+}
+
+}  // namespace irf::linalg

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file smoothers.hpp
+/// Stationary smoothers used inside the AMG cycles (and as stand-alone
+/// baseline relaxation methods in the solver benchmarks).
+
+#include "linalg/csr.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace irf::linalg {
+
+/// One weighted Jacobi sweep: x <- x + omega D^{-1} (b - A x).
+void jacobi_sweep(const CsrMatrix& a, const Vec& b, Vec& x, double omega = 2.0 / 3.0);
+
+/// One forward Gauss-Seidel sweep (ascending row order).
+void gauss_seidel_forward(const CsrMatrix& a, const Vec& b, Vec& x);
+
+/// One backward Gauss-Seidel sweep (descending row order).
+void gauss_seidel_backward(const CsrMatrix& a, const Vec& b, Vec& x);
+
+/// Symmetric Gauss-Seidel: forward then backward sweep. This is the default
+/// smoother of the AMG K-cycle (symmetric, so the preconditioner stays SPD).
+void symmetric_gauss_seidel(const CsrMatrix& a, const Vec& b, Vec& x);
+
+}  // namespace irf::linalg

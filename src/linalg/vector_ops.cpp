@@ -1,0 +1,62 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace irf::linalg {
+
+namespace {
+void check_same_size(const Vec& a, const Vec& b, const char* op) {
+  if (a.size() != b.size()) {
+    throw DimensionError(std::string(op) + ": vector sizes differ (" +
+                         std::to_string(a.size()) + " vs " + std::to_string(b.size()) +
+                         ")");
+  }
+}
+}  // namespace
+
+double dot(const Vec& a, const Vec& b) {
+  check_same_size(a, b, "dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vec& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void axpy(double alpha, const Vec& x, Vec& y) {
+  check_same_size(x, y, "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void xpby(const Vec& x, double beta, Vec& y) {
+  check_same_size(x, y, "xpby");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+void scale(Vec& a, double alpha) {
+  for (double& v : a) v *= alpha;
+}
+
+Vec subtract(const Vec& a, const Vec& b) {
+  check_same_size(a, b, "subtract");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+bool has_non_finite(const Vec& a) {
+  for (double v : a) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace irf::linalg

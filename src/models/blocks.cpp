@@ -1,0 +1,118 @@
+#include "models/blocks.hpp"
+
+#include "common/error.hpp"
+
+namespace irf::models {
+
+using nn::Tensor;
+
+DoubleConv::DoubleConv(int in_channels, int out_channels, Rng& rng)
+    : conv1_(in_channels, out_channels, 3, rng), conv2_(out_channels, out_channels, 3, rng) {
+  register_child(&conv1_);
+  register_child(&conv2_);
+}
+
+Tensor DoubleConv::forward(const Tensor& x) { return conv2_.forward(conv1_.forward(x)); }
+
+Inception::Inception(InceptionKind kind, int in_channels, int out_channels, Rng& rng)
+    : kind_(kind) {
+  if (out_channels % 4 != 0) {
+    throw ConfigError("Inception out_channels must be divisible by 4, got " +
+                      std::to_string(out_channels));
+  }
+  const int q = out_channels / 4;
+  auto layer = [&](int cin, int cout, int kh, int kw) {
+    branch_layers_.push_back(std::make_unique<nn::ConvBnRelu>(cin, cout, kh, kw, rng));
+    register_child(branch_layers_.back().get());
+    return static_cast<int>(branch_layers_.size()) - 1;
+  };
+
+  // Branch 0 on all variants: pointwise.
+  branches_.push_back({layer(in_channels, q, 1, 1)});
+  switch (kind) {
+    case InceptionKind::kA:
+      branches_.push_back({layer(in_channels, q, 1, 1), layer(q, q, 3, 3)});
+      branches_.push_back(
+          {layer(in_channels, q, 1, 1), layer(q, q, 3, 3), layer(q, q, 3, 3)});
+      break;
+    case InceptionKind::kB:
+      branches_.push_back(
+          {layer(in_channels, q, 1, 1), layer(q, q, 1, 7), layer(q, q, 7, 1)});
+      branches_.push_back(
+          {layer(in_channels, q, 1, 1), layer(q, q, 7, 1), layer(q, q, 1, 7)});
+      break;
+    case InceptionKind::kC:
+      branches_.push_back({layer(in_channels, q, 1, 1), layer(q, q, 1, 3)});
+      branches_.push_back({layer(in_channels, q, 1, 1), layer(q, q, 3, 1)});
+      break;
+  }
+  // Pooling branch on all variants (marked by the leading -1).
+  branches_.push_back({-1, layer(in_channels, q, 1, 1)});
+}
+
+Tensor Inception::forward(const Tensor& x) {
+  std::vector<Tensor> outs;
+  for (const std::vector<int>& branch : branches_) {
+    Tensor t = x;
+    for (int idx : branch) {
+      if (idx < 0) {
+        t = nn::avgpool3x3_same(t);
+      } else {
+        t = branch_layers_[static_cast<std::size_t>(idx)]->forward(t);
+      }
+    }
+    outs.push_back(t);
+  }
+  return nn::concat_channels(outs);
+}
+
+ChannelAttention::ChannelAttention(int channels, int reduction, Rng& rng)
+    : fc1_(channels, std::max(1, channels / reduction), 1, rng),
+      fc2_(std::max(1, channels / reduction), channels, 1, rng) {
+  register_child(&fc1_);
+  register_child(&fc2_);
+}
+
+Tensor ChannelAttention::forward(const Tensor& x) const {
+  const Tensor avg = fc2_.forward(nn::relu(fc1_.forward(nn::global_avg_pool(x))));
+  const Tensor max = fc2_.forward(nn::relu(fc1_.forward(nn::global_max_pool(x))));
+  return nn::sigmoid(nn::add(avg, max));
+}
+
+SpatialAttention::SpatialAttention(Rng& rng) : conv_(2, 1, 7, rng) {
+  register_child(&conv_);
+}
+
+Tensor SpatialAttention::forward(const Tensor& x) const {
+  const Tensor stacked = nn::concat_channels({nn::channel_mean(x), nn::channel_max(x)});
+  return nn::sigmoid(conv_.forward(stacked));
+}
+
+Cbam::Cbam(int channels, Rng& rng, int reduction)
+    : channel_(channels, reduction, rng), spatial_(rng) {
+  register_child(&channel_);
+  register_child(&spatial_);
+}
+
+Tensor Cbam::forward(const Tensor& x) const {
+  const Tensor after_channel = nn::mul_channel(x, channel_.forward(x));
+  return nn::mul_spatial(after_channel, spatial_.forward(after_channel));
+}
+
+AttentionGate::AttentionGate(int gate_channels, int skip_channels, int inter_channels,
+                             Rng& rng)
+    : wg_(gate_channels, inter_channels, 1, rng),
+      wx_(skip_channels, inter_channels, 1, rng),
+      psi_(inter_channels, 1, 1, rng) {
+  register_child(&wg_);
+  register_child(&wx_);
+  register_child(&psi_);
+}
+
+Tensor AttentionGate::forward(const Tensor& gate, const Tensor& skip) const {
+  const Tensor combined = nn::relu(nn::add(wg_.forward(gate), wx_.forward(skip)));
+  const Tensor alpha = nn::sigmoid(psi_.forward(combined));  // [N,1,H,W]
+  return nn::mul_spatial(skip, alpha);
+}
+
+}  // namespace irf::models

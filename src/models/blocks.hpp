@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file blocks.hpp
+/// Reusable network blocks: the U-Net double conv, Inception-A/B/C
+/// (Section III-D, after Szegedy et al.), the attention gate, and CBAM
+/// (channel + spatial attention, Equation (6)).
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace irf::models {
+
+/// Two ConvBnRelu 3x3 layers — the classic U-Net stage.
+class DoubleConv : public nn::Module {
+ public:
+  DoubleConv(int in_channels, int out_channels, Rng& rng);
+  nn::Tensor forward(const nn::Tensor& x);
+
+ private:
+  nn::ConvBnRelu conv1_;
+  nn::ConvBnRelu conv2_;
+};
+
+/// Which Inception variant a block implements.
+enum class InceptionKind { kA, kB, kC };
+
+/// Multi-branch Inception block. All variants output `out_channels`
+/// (must be divisible by 4; each of the 4 branches produces a quarter):
+///  * A: 1x1 | 1x1-3x3 | 1x1-3x3-3x3 | avgpool-1x1       (early layers)
+///  * B: 1x1 | 1x1-1x7-7x1 | 1x1-7x1-1x7 | avgpool-1x1   (mid features)
+///  * C: 1x1 | 1x1-1x3 | 1x1-3x1 | avgpool-1x1           (high-dim features)
+class Inception : public nn::Module {
+ public:
+  Inception(InceptionKind kind, int in_channels, int out_channels, Rng& rng);
+  nn::Tensor forward(const nn::Tensor& x);
+
+  InceptionKind kind() const { return kind_; }
+
+ private:
+  InceptionKind kind_;
+  std::vector<std::unique_ptr<nn::ConvBnRelu>> branch_layers_;
+  /// branch_layers_ flattened; branches_[i] = indices of layers of branch i.
+  std::vector<std::vector<int>> branches_;
+};
+
+/// CBAM channel attention Mc: shared 1x1-conv MLP over global avg and max
+/// pooled descriptors, sigmoid-combined (global attention).
+class ChannelAttention : public nn::Module {
+ public:
+  ChannelAttention(int channels, int reduction, Rng& rng);
+  /// Returns the [N,C,1,1] attention weights.
+  nn::Tensor forward(const nn::Tensor& x) const;
+
+ private:
+  nn::Conv2d fc1_;
+  nn::Conv2d fc2_;
+};
+
+/// CBAM spatial attention Ms: 7x7 conv over [mean;max] channel maps
+/// (local attention).
+class SpatialAttention : public nn::Module {
+ public:
+  explicit SpatialAttention(Rng& rng);
+  /// Returns the [N,1,H,W] attention weights.
+  nn::Tensor forward(const nn::Tensor& x) const;
+
+ private:
+  nn::Conv2d conv_;
+};
+
+/// Full CBAM: m'' = Ms(Mc(m) (x) m) (x) (Mc(m) (x) m).
+class Cbam : public nn::Module {
+ public:
+  Cbam(int channels, Rng& rng, int reduction = 4);
+  nn::Tensor forward(const nn::Tensor& x) const;
+
+ private:
+  ChannelAttention channel_;
+  SpatialAttention spatial_;
+};
+
+/// Attention gate (Attention U-Net style): gates the encoder skip `x` with
+/// the decoder signal `g` (same spatial size).
+class AttentionGate : public nn::Module {
+ public:
+  AttentionGate(int gate_channels, int skip_channels, int inter_channels, Rng& rng);
+  nn::Tensor forward(const nn::Tensor& gate, const nn::Tensor& skip) const;
+
+ private:
+  nn::Conv2d wg_;
+  nn::Conv2d wx_;
+  nn::Conv2d psi_;
+};
+
+}  // namespace irf::models

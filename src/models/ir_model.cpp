@@ -1,0 +1,26 @@
+#include "models/ir_model.hpp"
+
+#include <cmath>
+
+#include "nn/ops.hpp"
+
+namespace irf::models {
+
+nn::Tensor hotspot_weight_map(const nn::Tensor& target) {
+  float max_abs = 0.0f;
+  for (float v : target.data()) max_abs = std::max(max_abs, std::abs(v));
+  std::vector<float> weights(target.data().size(), 1.0f);
+  if (max_abs > 0.0f) {
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const float r = std::abs(target.data()[i]) / max_abs;
+      weights[i] = 1.0f + 4.0f * r * r;
+    }
+  }
+  return nn::Tensor::from_data(target.shape(), std::move(weights));
+}
+
+nn::Tensor IrModel::loss(const nn::Tensor& pred, const nn::Tensor& target) {
+  return nn::weighted_mse_loss(pred, target, hotspot_weight_map(target));
+}
+
+}  // namespace irf::models

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file ir_model.hpp
+/// Common interface of every evaluated IR-drop predictor (the six baselines
+/// of Table I plus IR-Fusion's Inception Attention U-Net). Models map an
+/// [N, C, H, W] feature stack to an [N, 1, H, W] IR-drop image.
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace irf::models {
+
+class IrModel : public nn::Module {
+ public:
+  virtual nn::Tensor forward(const nn::Tensor& x) = 0;
+
+  /// Training objective. Default: hotspot-weighted MSE — pixels near the
+  /// per-map maximum drop get up to 5x weight, the standard emphasis used by
+  /// IR-drop predictors (hotspot F1 is a first-class metric in Table I).
+  /// Models with a physics-informed objective (IRPnet) override this.
+  virtual nn::Tensor loss(const nn::Tensor& pred, const nn::Tensor& target);
+
+  virtual std::string name() const = 0;
+  virtual int in_channels() const = 0;
+};
+
+/// Weight map 1 + 4*(|t|/max|t|)^2 built from the target (constant w.r.t.
+/// the tape). Exposed for reuse by models that extend the default loss.
+nn::Tensor hotspot_weight_map(const nn::Tensor& target);
+
+}  // namespace irf::models

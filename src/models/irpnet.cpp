@@ -1,0 +1,86 @@
+#include "models/irpnet.hpp"
+
+#include "common/error.hpp"
+#include "nn/ops.hpp"
+
+namespace irf::models {
+
+using nn::Tensor;
+
+IrpNet::IrpNet(int in_channels, int base_channels, Rng& rng, double physics_weight)
+    : in_channels_(in_channels), physics_weight_(physics_weight) {
+  const int b = base_channels;
+  stem_ = std::make_unique<DoubleConv>(in_channels, b, rng);
+  down1_ = std::make_unique<DoubleConv>(b, 2 * b, rng);
+  down2_ = std::make_unique<DoubleConv>(2 * b, 4 * b, rng);
+  for (auto& proj : pyramid_proj_) {
+    proj = std::make_unique<nn::ConvBnRelu>(4 * b, b, 1, rng);
+  }
+  fuse_ = std::make_unique<nn::ConvBnRelu>(4 * b + 3 * b, 4 * b, 3, rng);
+  up1_ = std::make_unique<nn::ConvBnRelu>(4 * b, 2 * b, 3, rng);
+  up2_ = std::make_unique<nn::ConvBnRelu>(2 * b, b, 3, rng);
+  skip_fuse_ = std::make_unique<nn::ConvBnRelu>(2 * b, b, 3, rng);
+  head_ = std::make_unique<nn::Conv2d>(b, 1, 1, rng);
+  register_child(stem_.get());
+  register_child(down1_.get());
+  register_child(down2_.get());
+  for (auto& proj : pyramid_proj_) register_child(proj.get());
+  register_child(fuse_.get());
+  register_child(up1_.get());
+  register_child(up2_.get());
+  register_child(skip_fuse_.get());
+  register_child(head_.get());
+  for (nn::Tensor p : head_->parameters()) {
+    std::fill(p.data().begin(), p.data().end(), 0.0f);
+  }
+
+  // 5-point Laplacian stencil; constant (requires_grad stays false).
+  laplacian_kernel_ = Tensor::from_data(
+      nn::Shape{1, 1, 3, 3}, {0.0f, -1.0f, 0.0f, -1.0f, 4.0f, -1.0f, 0.0f, -1.0f, 0.0f});
+}
+
+Tensor IrpNet::forward(const Tensor& x) {
+  const nn::Shape& s = x.shape();
+  if (s.c != in_channels_) {
+    throw DimensionError("IRPnet expects " + std::to_string(in_channels_) +
+                         " channels, got " + std::to_string(s.c));
+  }
+  if (s.h % 16 != 0 || s.w % 16 != 0 || s.h != s.w) {
+    throw DimensionError("IRPnet needs a square input divisible by 16, got " + s.str());
+  }
+  Tensor t0 = stem_->forward(x);
+  Tensor t1 = down1_->forward(nn::maxpool2d(t0, 2));
+  Tensor t2 = down2_->forward(nn::maxpool2d(t1, 2));
+
+  // Pyramid context: global plus two intermediate pooling scales, each
+  // projected to b channels and broadcast back to t2's resolution.
+  const int h2 = t2.shape().h;
+  std::vector<Tensor> context{t2};
+  const int pool_sizes[3] = {h2, 4, 2};  // h2 == global context
+  for (int level = 0; level < 3; ++level) {
+    const int k = pool_sizes[level];
+    Tensor p = pyramid_proj_[level]->forward(nn::avgpool2d(t2, k));
+    context.push_back(nn::upsample_nearest(p, k));
+  }
+  Tensor fused = fuse_->forward(nn::concat_channels(context));
+  Tensor u1 = up1_->forward(nn::upsample_nearest2x(fused));
+  Tensor u2 = up2_->forward(nn::upsample_nearest2x(u1));
+  Tensor with_skip = skip_fuse_->forward(nn::concat_channels({u2, t0}));
+  return head_->forward(with_skip);
+}
+
+Tensor IrpNet::loss(const Tensor& pred, const Tensor& target) {
+  Tensor data_term = nn::weighted_mse_loss(pred, target, hotspot_weight_map(target));
+  // KCL-inspired consistency: match the discrete Laplacian (net current
+  // pattern) of the prediction to the golden one.
+  Tensor lap_pred = nn::conv2d(pred, laplacian_kernel_, Tensor{});
+  Tensor lap_target = nn::conv2d(target, laplacian_kernel_, Tensor{});
+  Tensor physics_term = nn::mse_loss(lap_pred, lap_target);
+  return nn::add(data_term, nn::scale(physics_term, static_cast<float>(physics_weight_)));
+}
+
+std::unique_ptr<IrModel> make_irpnet(int in_channels, int base_channels, Rng& rng) {
+  return std::make_unique<IrpNet>(in_channels, base_channels, rng);
+}
+
+}  // namespace irf::models

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file irpnet.hpp
+/// IRPnet baseline: a pyramid model capturing global context plus a loss
+/// with a Kirchhoff's-current-law-inspired consistency term. Static IR drop
+/// on a uniform grid satisfies a discrete Poisson equation, so we penalize
+/// the mismatch between the 5-point Laplacian of the prediction and of the
+/// golden map in addition to the pixel MSE.
+
+#include <memory>
+
+#include "models/blocks.hpp"
+#include "models/ir_model.hpp"
+
+namespace irf::models {
+
+class IrpNet : public IrModel {
+ public:
+  IrpNet(int in_channels, int base_channels, Rng& rng, double physics_weight = 0.05);
+
+  nn::Tensor forward(const nn::Tensor& x) override;
+  nn::Tensor loss(const nn::Tensor& pred, const nn::Tensor& target) override;
+  std::string name() const override { return "IRPnet"; }
+  int in_channels() const override { return in_channels_; }
+
+ private:
+  int in_channels_;
+  double physics_weight_;
+
+  std::unique_ptr<DoubleConv> stem_;
+  std::unique_ptr<DoubleConv> down1_;
+  std::unique_ptr<DoubleConv> down2_;
+  // Pyramid pooling: context pooled at several scales, projected, upsampled.
+  std::unique_ptr<nn::ConvBnRelu> pyramid_proj_[3];
+  std::unique_ptr<nn::ConvBnRelu> fuse_;
+  std::unique_ptr<nn::ConvBnRelu> up1_;
+  std::unique_ptr<nn::ConvBnRelu> up2_;
+  /// Fuses the full-resolution stem features back in before the head so the
+  /// regression keeps pixel-level grounding (IRPnet's residual-style path).
+  std::unique_ptr<nn::ConvBnRelu> skip_fuse_;
+  std::unique_ptr<nn::Conv2d> head_;
+  nn::Tensor laplacian_kernel_;  ///< fixed, non-trainable 5-point stencil
+};
+
+std::unique_ptr<IrModel> make_irpnet(int in_channels, int base_channels, Rng& rng);
+
+}  // namespace irf::models

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file unet.hpp
+/// Configurable U-Net covering most of the model zoo. The flags correspond
+/// exactly to the architectural deltas between the published baselines and
+/// IR-Fusion's Inception Attention U-Net (Fig. 4):
+///
+///   * plain                         -> IREDGe / MAVIREC / contest winner
+///   * + attention gates             -> PGAU
+///   * + Inception encoder           -> MAUnet (multiscale attention)
+///   * + Inception + AG + CBAM       -> IR-Fusion
+///
+/// The encoder downsamples three times (Section III-D); the decoder mirrors
+/// it with nearest-neighbour upsampling and a regression 1x1 head.
+
+#include <memory>
+#include <vector>
+
+#include "models/blocks.hpp"
+#include "models/ir_model.hpp"
+
+namespace irf::models {
+
+struct UNetConfig {
+  std::string name = "unet";
+  int in_channels = 3;
+  int base_channels = 8;          ///< must be divisible by 4 with inception
+  bool inception_encoder = false; ///< Inception-A/B/C at the three encoder depths
+  bool attention_gates = false;   ///< gate each skip connection
+  bool cbam_decoder = false;      ///< CBAM after each decoder stage
+};
+
+class UNet : public IrModel {
+ public:
+  UNet(UNetConfig config, Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& x) override;
+  std::string name() const override { return config_.name; }
+  int in_channels() const override { return config_.in_channels; }
+
+  const UNetConfig& config() const { return config_; }
+
+ private:
+  UNetConfig config_;
+
+  // Encoder: stem at full resolution, then three downsampled stages.
+  std::unique_ptr<DoubleConv> stem_;
+  std::unique_ptr<DoubleConv> enc_plain_[3];
+  std::unique_ptr<Inception> enc_inception_[3];
+
+  // Decoder: per stage an up-projection conv, fusion DoubleConv and options.
+  std::unique_ptr<nn::ConvBnRelu> up_proj_[3];
+  std::unique_ptr<DoubleConv> dec_[3];
+  std::unique_ptr<AttentionGate> gates_[3];
+  std::unique_ptr<Cbam> cbams_[3];
+
+  std::unique_ptr<nn::Conv2d> head_;
+};
+
+/// Baseline factories (Table I rows). `base_channels` scales capacity; the
+/// contest winner uses 2x the width of the others.
+std::unique_ptr<IrModel> make_iredge(int in_channels, int base_channels, Rng& rng);
+std::unique_ptr<IrModel> make_mavirec(int in_channels, int base_channels, Rng& rng);
+std::unique_ptr<IrModel> make_pgau(int in_channels, int base_channels, Rng& rng);
+std::unique_ptr<IrModel> make_maunet(int in_channels, int base_channels, Rng& rng);
+std::unique_ptr<IrModel> make_contest_winner(int in_channels, int base_channels, Rng& rng);
+
+/// IR-Fusion's Inception Attention U-Net. `use_inception`/`use_cbam` expose
+/// the Fig. 8 ablation switches.
+std::unique_ptr<IrModel> make_ir_fusion_net(int in_channels, int base_channels, Rng& rng,
+                                            bool use_inception = true,
+                                            bool use_cbam = true);
+
+}  // namespace irf::models

@@ -1,0 +1,794 @@
+#include "nn/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace irf::nn {
+
+namespace {
+
+using detail::Node;
+using NodePtr = std::shared_ptr<Node>;
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!(a.shape() == b.shape())) {
+    throw DimensionError(std::string(op) + ": shapes " + a.shape().str() + " vs " +
+                         b.shape().str());
+  }
+}
+
+inline std::size_t offset(const Shape& s, int n, int c, int y, int x) {
+  return ((static_cast<std::size_t>(n) * s.c + c) * s.h + y) * s.w + x;
+}
+
+/// Elementwise binary op helper.
+template <typename Fwd, typename Bwd>
+Tensor elementwise_binary(const Tensor& a, const Tensor& b, const char* name, Fwd fwd,
+                          Bwd bwd) {
+  check_same_shape(a, b, name);
+  std::vector<float> out(a.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fwd(a.data()[i], b.data()[i]);
+  NodePtr an = a.node();
+  NodePtr bn = b.node();
+  return make_op_result(a.shape(), std::move(out), {an, bn}, [an, bn, bwd](Node& self) {
+    if (an->requires_grad) an->ensure_grad();
+    if (bn->requires_grad) bn->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      bwd(self.grad[i], an->data[i], bn->data[i],
+          an->requires_grad ? &an->grad[i] : nullptr,
+          bn->requires_grad ? &bn->grad[i] : nullptr);
+    }
+  });
+}
+
+/// Elementwise unary op helper; bwd receives (gout, x, y) and returns dx.
+template <typename Fwd, typename Bwd>
+Tensor elementwise_unary(const Tensor& a, Fwd fwd, Bwd bwd) {
+  std::vector<float> out(a.data().size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fwd(a.data()[i]);
+  NodePtr an = a.node();
+  return make_op_result(a.shape(), std::move(out), {an}, [an, bwd](Node& self) {
+    an->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      an->grad[i] += bwd(self.grad[i], an->data[i], self.data[i]);
+    }
+  });
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      a, b, "add", [](float x, float y) { return x + y; },
+      [](float g, float, float, float* da, float* db) {
+        if (da) *da += g;
+        if (db) *db += g;
+      });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      a, b, "sub", [](float x, float y) { return x - y; },
+      [](float g, float, float, float* da, float* db) {
+        if (da) *da += g;
+        if (db) *db -= g;
+      });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      a, b, "mul", [](float x, float y) { return x * y; },
+      [](float g, float x, float y, float* da, float* db) {
+        if (da) *da += g * y;
+        if (db) *db += g * x;
+      });
+}
+
+Tensor scale(const Tensor& a, float factor) {
+  return elementwise_unary(
+      a, [factor](float x) { return x * factor; },
+      [factor](float g, float, float) { return g * factor; });
+}
+
+Tensor add_scalar(const Tensor& a, float value) {
+  return elementwise_unary(
+      a, [value](float x) { return x + value; },
+      [](float g, float, float) { return g; });
+}
+
+Tensor relu(const Tensor& a) {
+  return elementwise_unary(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float g, float x, float) { return x > 0.0f ? g : 0.0f; });
+}
+
+Tensor leaky_relu(const Tensor& a, float negative_slope) {
+  return elementwise_unary(
+      a, [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
+      [negative_slope](float g, float x, float) {
+        return x > 0.0f ? g : negative_slope * g;
+      });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return elementwise_unary(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float g, float, float y) { return g * y * (1.0f - y); });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  return elementwise_unary(
+      a, [](float x) { return std::tanh(x); },
+      [](float g, float, float y) { return g * (1.0f - y * y); });
+}
+
+namespace {
+
+/// Geometry of one conv2d call, shared by forward and backward.
+struct ConvGeom {
+  Shape xs, ws, os;
+  int stride, pad_h, pad_w;
+  int patch;  ///< Cin * kh * kw (the im2col row count)
+};
+
+/// im2col: expand one sample's receptive fields into a [patch, oh*ow] matrix.
+void im2col(const float* x, const ConvGeom& g, int n, float* col) {
+  const int plane = g.os.h * g.os.w;
+  for (int ci = 0; ci < g.xs.c; ++ci) {
+    for (int ky = 0; ky < g.ws.h; ++ky) {
+      for (int kx = 0; kx < g.ws.w; ++kx) {
+        float* row = col + ((ci * g.ws.h + ky) * g.ws.w + kx) * static_cast<std::size_t>(plane);
+        for (int y = 0; y < g.os.h; ++y) {
+          const int iy = y * g.stride - g.pad_h + ky;
+          if (iy < 0 || iy >= g.xs.h) {
+            std::fill(row + y * g.os.w, row + (y + 1) * g.os.w, 0.0f);
+            continue;
+          }
+          const float* xrow = x + offset(g.xs, n, ci, iy, 0);
+          for (int xo = 0; xo < g.os.w; ++xo) {
+            const int ix = xo * g.stride - g.pad_w + kx;
+            row[y * g.os.w + xo] = (ix >= 0 && ix < g.xs.w) ? xrow[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// col2im: scatter-add a [patch, oh*ow] gradient matrix back into x-grad.
+void col2im_add(const float* col, const ConvGeom& g, int n, float* xg) {
+  const int plane = g.os.h * g.os.w;
+  for (int ci = 0; ci < g.xs.c; ++ci) {
+    for (int ky = 0; ky < g.ws.h; ++ky) {
+      for (int kx = 0; kx < g.ws.w; ++kx) {
+        const float* row =
+            col + ((ci * g.ws.h + ky) * g.ws.w + kx) * static_cast<std::size_t>(plane);
+        for (int y = 0; y < g.os.h; ++y) {
+          const int iy = y * g.stride - g.pad_h + ky;
+          if (iy < 0 || iy >= g.xs.h) continue;
+          float* xrow = xg + offset(g.xs, n, ci, iy, 0);
+          for (int xo = 0; xo < g.os.w; ++xo) {
+            const int ix = xo * g.stride - g.pad_w + kx;
+            if (ix >= 0 && ix < g.xs.w) xrow[ix] += row[y * g.os.w + xo];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// C[m,n] += A[m,k] * B[k,n], row-major, ikj loop order (streams B).
+void gemm_accumulate(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[m,n] += A^T[m,k] * B[k,n] where A is stored [k,m].
+void gemm_at_b_accumulate(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a + static_cast<std::size_t>(p) * m;
+    const float* brow = b + static_cast<std::size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[m,n] += A[k,m]^T... specifically dW-style: C[m,k] += B[m,n] * colT[n,k]
+/// expressed as: for dW = dY [Cout, plane] x col^T [plane, patch]:
+void gemm_b_ct_accumulate(const float* dy, const float* col, float* dw, int cout,
+                          int plane, int patch) {
+  for (int i = 0; i < cout; ++i) {
+    const float* dyrow = dy + static_cast<std::size_t>(i) * plane;
+    float* dwrow = dw + static_cast<std::size_t>(i) * patch;
+    for (int p = 0; p < patch; ++p) {
+      const float* colrow = col + static_cast<std::size_t>(p) * plane;
+      float acc = 0.0f;
+      for (int j = 0; j < plane; ++j) acc += dyrow[j] * colrow[j];
+      dwrow[p] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias, int stride,
+              int pad_h, int pad_w) {
+  const Shape& xs = x.shape();
+  const Shape& ws = weight.shape();
+  if (ws.c != xs.c) {
+    throw DimensionError("conv2d: weight expects " + std::to_string(ws.c) +
+                         " input channels, x has " + std::to_string(xs.c));
+  }
+  if (stride < 1) throw ConfigError("conv2d: stride must be >= 1");
+  if (pad_h < 0) {
+    if (stride != 1 || ws.h % 2 == 0) {
+      throw ConfigError("conv2d: 'same' padding needs stride 1 and odd kernel height");
+    }
+    pad_h = (ws.h - 1) / 2;
+  }
+  if (pad_w < 0) {
+    if (stride != 1 || ws.w % 2 == 0) {
+      throw ConfigError("conv2d: 'same' padding needs stride 1 and odd kernel width");
+    }
+    pad_w = (ws.w - 1) / 2;
+  }
+  const int oh = (xs.h + 2 * pad_h - ws.h) / stride + 1;
+  const int ow = (xs.w + 2 * pad_w - ws.w) / stride + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw DimensionError("conv2d: output would be empty for input " + xs.str() +
+                         " kernel " + ws.str());
+  }
+  const bool has_bias = bias.defined();
+  if (has_bias) {
+    const Shape expected{1, ws.n, 1, 1};
+    if (!(bias.shape() == expected)) {
+      throw DimensionError("conv2d: bias must be [1," + std::to_string(ws.n) + ",1,1]");
+    }
+  }
+
+  ConvGeom geom{xs, ws, Shape{xs.n, ws.n, oh, ow}, stride, pad_h, pad_w,
+                xs.c * ws.h * ws.w};
+  const Shape os = geom.os;
+  const int plane = oh * ow;
+  std::vector<float> out(static_cast<std::size_t>(os.numel()), 0.0f);
+  std::vector<float> col(static_cast<std::size_t>(geom.patch) * plane);
+
+  // Forward: per sample, y[Cout, plane] = W[Cout, patch] x col[patch, plane].
+  for (int n = 0; n < xs.n; ++n) {
+    im2col(x.data().data(), geom, n, col.data());
+    float* y = out.data() + offset(os, n, 0, 0, 0);
+    if (has_bias) {
+      for (int co = 0; co < ws.n; ++co) {
+        std::fill(y + static_cast<std::size_t>(co) * plane,
+                  y + static_cast<std::size_t>(co + 1) * plane,
+                  bias.data()[static_cast<std::size_t>(co)]);
+      }
+    }
+    gemm_accumulate(weight.data().data(), col.data(), y, ws.n, geom.patch, plane);
+  }
+
+  NodePtr xn = x.node();
+  NodePtr wn = weight.node();
+  NodePtr bn = has_bias ? bias.node() : nullptr;
+  std::vector<NodePtr> parents{xn, wn};
+  if (bn) parents.push_back(bn);
+  auto backward = [xn, wn, bn, geom, os, plane](Node& self) {
+    const bool need_x = xn->requires_grad;
+    const bool need_w = wn->requires_grad;
+    const bool need_b = bn && bn->requires_grad;
+    if (need_x) xn->ensure_grad();
+    if (need_w) wn->ensure_grad();
+    if (need_b) bn->ensure_grad();
+    std::vector<float> col(static_cast<std::size_t>(geom.patch) * plane);
+    std::vector<float> dcol(static_cast<std::size_t>(geom.patch) * plane);
+    for (int n = 0; n < geom.xs.n; ++n) {
+      const float* dy = self.grad.data() + offset(os, n, 0, 0, 0);
+      if (need_b) {
+        for (int co = 0; co < geom.ws.n; ++co) {
+          float acc = 0.0f;
+          const float* dyrow = dy + static_cast<std::size_t>(co) * plane;
+          for (int j = 0; j < plane; ++j) acc += dyrow[j];
+          bn->grad[static_cast<std::size_t>(co)] += acc;
+        }
+      }
+      if (need_w) {
+        im2col(xn->data.data(), geom, n, col.data());
+        // dW[Cout, patch] += dY[Cout, plane] x col^T[plane, patch].
+        gemm_b_ct_accumulate(dy, col.data(), wn->grad.data(), geom.ws.n, plane,
+                             geom.patch);
+      }
+      if (need_x) {
+        // dcol[patch, plane] = W^T[patch, Cout] x dY[Cout, plane].
+        std::fill(dcol.begin(), dcol.end(), 0.0f);
+        gemm_at_b_accumulate(wn->data.data(), dy, dcol.data(), geom.patch, geom.ws.n,
+                             plane);
+        col2im_add(dcol.data(), geom, n, xn->grad.data());
+      }
+    }
+  };
+  return make_op_result(os, std::move(out), std::move(parents), std::move(backward));
+}
+
+Tensor maxpool2d(const Tensor& x, int k) {
+  const Shape& xs = x.shape();
+  if (k < 1 || xs.h % k != 0 || xs.w % k != 0) {
+    throw DimensionError("maxpool2d: " + xs.str() + " not divisible by k=" +
+                         std::to_string(k));
+  }
+  Shape os{xs.n, xs.c, xs.h / k, xs.w / k};
+  std::vector<float> out(static_cast<std::size_t>(os.numel()));
+  auto argmax = std::make_shared<std::vector<std::size_t>>(out.size());
+  for (int n = 0; n < xs.n; ++n) {
+    for (int c = 0; c < xs.c; ++c) {
+      for (int y = 0; y < os.h; ++y) {
+        for (int xo = 0; xo < os.w; ++xo) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (int dy = 0; dy < k; ++dy) {
+            for (int dx = 0; dx < k; ++dx) {
+              const std::size_t idx = offset(xs, n, c, y * k + dy, xo * k + dx);
+              if (x.data()[idx] > best) {
+                best = x.data()[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t o = offset(os, n, c, y, xo);
+          out[o] = best;
+          (*argmax)[o] = best_idx;
+        }
+      }
+    }
+  }
+  NodePtr xn = x.node();
+  return make_op_result(os, std::move(out), {xn}, [xn, argmax](Node& self) {
+    xn->ensure_grad();
+    for (std::size_t o = 0; o < self.grad.size(); ++o) {
+      xn->grad[(*argmax)[o]] += self.grad[o];
+    }
+  });
+}
+
+Tensor avgpool2d(const Tensor& x, int k) {
+  const Shape& xs = x.shape();
+  if (k < 1 || xs.h % k != 0 || xs.w % k != 0) {
+    throw DimensionError("avgpool2d: " + xs.str() + " not divisible by k=" +
+                         std::to_string(k));
+  }
+  Shape os{xs.n, xs.c, xs.h / k, xs.w / k};
+  std::vector<float> out(static_cast<std::size_t>(os.numel()), 0.0f);
+  const float inv = 1.0f / static_cast<float>(k * k);
+  for (int n = 0; n < xs.n; ++n) {
+    for (int c = 0; c < xs.c; ++c) {
+      for (int y = 0; y < os.h; ++y) {
+        for (int xo = 0; xo < os.w; ++xo) {
+          float acc = 0.0f;
+          for (int dy = 0; dy < k; ++dy)
+            for (int dx = 0; dx < k; ++dx)
+              acc += x.data()[offset(xs, n, c, y * k + dy, xo * k + dx)];
+          out[offset(os, n, c, y, xo)] = acc * inv;
+        }
+      }
+    }
+  }
+  NodePtr xn = x.node();
+  return make_op_result(os, std::move(out), {xn}, [xn, k, xs, os, inv](Node& self) {
+    xn->ensure_grad();
+    for (int n = 0; n < os.n; ++n) {
+      for (int c = 0; c < os.c; ++c) {
+        for (int y = 0; y < os.h; ++y) {
+          for (int xo = 0; xo < os.w; ++xo) {
+            const float g = self.grad[offset(os, n, c, y, xo)] * inv;
+            for (int dy = 0; dy < k; ++dy)
+              for (int dx = 0; dx < k; ++dx)
+                xn->grad[offset(xs, n, c, y * k + dy, xo * k + dx)] += g;
+          }
+        }
+      }
+    }
+  });
+}
+
+Tensor avgpool3x3_same(const Tensor& x) {
+  const Shape& xs = x.shape();
+  std::vector<float> out(x.data().size(), 0.0f);
+  // Per-output inverse window size (borders see smaller windows).
+  auto inv_count = std::make_shared<std::vector<float>>(x.data().size(), 0.0f);
+  for (int n = 0; n < xs.n; ++n) {
+    for (int c = 0; c < xs.c; ++c) {
+      for (int y = 0; y < xs.h; ++y) {
+        for (int xo = 0; xo < xs.w; ++xo) {
+          float acc = 0.0f;
+          int count = 0;
+          for (int dy = -1; dy <= 1; ++dy) {
+            const int iy = y + dy;
+            if (iy < 0 || iy >= xs.h) continue;
+            for (int dx = -1; dx <= 1; ++dx) {
+              const int ix = xo + dx;
+              if (ix < 0 || ix >= xs.w) continue;
+              acc += x.data()[offset(xs, n, c, iy, ix)];
+              ++count;
+            }
+          }
+          const std::size_t o = offset(xs, n, c, y, xo);
+          out[o] = acc / static_cast<float>(count);
+          (*inv_count)[o] = 1.0f / static_cast<float>(count);
+        }
+      }
+    }
+  }
+  NodePtr xn = x.node();
+  return make_op_result(xs, std::move(out), {xn}, [xn, xs, inv_count](Node& self) {
+    xn->ensure_grad();
+    for (int n = 0; n < xs.n; ++n) {
+      for (int c = 0; c < xs.c; ++c) {
+        for (int y = 0; y < xs.h; ++y) {
+          for (int xo = 0; xo < xs.w; ++xo) {
+            const std::size_t o = offset(xs, n, c, y, xo);
+            const float g = self.grad[o] * (*inv_count)[o];
+            if (g == 0.0f) continue;
+            for (int dy = -1; dy <= 1; ++dy) {
+              const int iy = y + dy;
+              if (iy < 0 || iy >= xs.h) continue;
+              for (int dx = -1; dx <= 1; ++dx) {
+                const int ix = xo + dx;
+                if (ix < 0 || ix >= xs.w) continue;
+                xn->grad[offset(xs, n, c, iy, ix)] += g;
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+Tensor upsample_nearest(const Tensor& x, int factor) {
+  if (factor < 1) throw ConfigError("upsample_nearest: factor must be >= 1");
+  const Shape& xs = x.shape();
+  Shape os{xs.n, xs.c, xs.h * factor, xs.w * factor};
+  std::vector<float> out(static_cast<std::size_t>(os.numel()));
+  for (int n = 0; n < xs.n; ++n) {
+    for (int c = 0; c < xs.c; ++c) {
+      for (int y = 0; y < os.h; ++y) {
+        for (int xo = 0; xo < os.w; ++xo) {
+          out[offset(os, n, c, y, xo)] =
+              x.data()[offset(xs, n, c, y / factor, xo / factor)];
+        }
+      }
+    }
+  }
+  NodePtr xn = x.node();
+  return make_op_result(os, std::move(out), {xn}, [xn, xs, os, factor](Node& self) {
+    xn->ensure_grad();
+    for (int n = 0; n < os.n; ++n) {
+      for (int c = 0; c < os.c; ++c) {
+        for (int y = 0; y < os.h; ++y) {
+          for (int xo = 0; xo < os.w; ++xo) {
+            xn->grad[offset(xs, n, c, y / factor, xo / factor)] +=
+                self.grad[offset(os, n, c, y, xo)];
+          }
+        }
+      }
+    }
+  });
+}
+
+Tensor upsample_nearest2x(const Tensor& x) { return upsample_nearest(x, 2); }
+
+Tensor global_avg_pool(const Tensor& x) {
+  const Shape& xs = x.shape();
+  Shape os{xs.n, xs.c, 1, 1};
+  std::vector<float> out(static_cast<std::size_t>(os.numel()), 0.0f);
+  const float inv = 1.0f / static_cast<float>(xs.h * xs.w);
+  for (int n = 0; n < xs.n; ++n) {
+    for (int c = 0; c < xs.c; ++c) {
+      float acc = 0.0f;
+      const std::size_t base = offset(xs, n, c, 0, 0);
+      for (int i = 0; i < xs.h * xs.w; ++i) acc += x.data()[base + i];
+      out[static_cast<std::size_t>(n) * xs.c + c] = acc * inv;
+    }
+  }
+  NodePtr xn = x.node();
+  return make_op_result(os, std::move(out), {xn}, [xn, xs, inv](Node& self) {
+    xn->ensure_grad();
+    for (int n = 0; n < xs.n; ++n) {
+      for (int c = 0; c < xs.c; ++c) {
+        const float g = self.grad[static_cast<std::size_t>(n) * xs.c + c] * inv;
+        const std::size_t base = offset(xs, n, c, 0, 0);
+        for (int i = 0; i < xs.h * xs.w; ++i) xn->grad[base + i] += g;
+      }
+    }
+  });
+}
+
+Tensor global_max_pool(const Tensor& x) {
+  const Shape& xs = x.shape();
+  Shape os{xs.n, xs.c, 1, 1};
+  std::vector<float> out(static_cast<std::size_t>(os.numel()));
+  auto argmax = std::make_shared<std::vector<std::size_t>>(out.size());
+  for (int n = 0; n < xs.n; ++n) {
+    for (int c = 0; c < xs.c; ++c) {
+      const std::size_t base = offset(xs, n, c, 0, 0);
+      float best = -std::numeric_limits<float>::infinity();
+      std::size_t best_idx = base;
+      for (int i = 0; i < xs.h * xs.w; ++i) {
+        if (x.data()[base + i] > best) {
+          best = x.data()[base + i];
+          best_idx = base + i;
+        }
+      }
+      const std::size_t o = static_cast<std::size_t>(n) * xs.c + c;
+      out[o] = best;
+      (*argmax)[o] = best_idx;
+    }
+  }
+  NodePtr xn = x.node();
+  return make_op_result(os, std::move(out), {xn}, [xn, argmax](Node& self) {
+    xn->ensure_grad();
+    for (std::size_t o = 0; o < self.grad.size(); ++o) {
+      xn->grad[(*argmax)[o]] += self.grad[o];
+    }
+  });
+}
+
+Tensor concat_channels(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw DimensionError("concat_channels: no inputs");
+  const Shape& first = parts.front().shape();
+  int total_c = 0;
+  for (const Tensor& t : parts) {
+    const Shape& s = t.shape();
+    if (s.n != first.n || s.h != first.h || s.w != first.w) {
+      throw DimensionError("concat_channels: mismatched shapes " + first.str() + " vs " +
+                           s.str());
+    }
+    total_c += s.c;
+  }
+  Shape os{first.n, total_c, first.h, first.w};
+  std::vector<float> out(static_cast<std::size_t>(os.numel()));
+  const std::size_t plane = static_cast<std::size_t>(first.h) * first.w;
+  for (int n = 0; n < os.n; ++n) {
+    int c_base = 0;
+    for (const Tensor& t : parts) {
+      const int tc = t.shape().c;
+      std::copy(t.data().begin() + static_cast<std::size_t>(n) * tc * plane,
+                t.data().begin() + static_cast<std::size_t>(n + 1) * tc * plane,
+                out.begin() + (static_cast<std::size_t>(n) * total_c + c_base) * plane);
+      c_base += tc;
+    }
+  }
+  std::vector<NodePtr> parents;
+  std::vector<int> channels;
+  for (const Tensor& t : parts) {
+    parents.push_back(t.node());
+    channels.push_back(t.shape().c);
+  }
+  auto parents_copy = parents;
+  return make_op_result(
+      os, std::move(out), std::move(parents),
+      [parents = std::move(parents_copy), channels, os, plane](Node& self) {
+        for (int n = 0; n < os.n; ++n) {
+          int c_base = 0;
+          for (std::size_t p = 0; p < parents.size(); ++p) {
+            const int tc = channels[p];
+            if (parents[p]->requires_grad) {
+              parents[p]->ensure_grad();
+              const std::size_t src =
+                  (static_cast<std::size_t>(n) * os.c + c_base) * plane;
+              const std::size_t dst = static_cast<std::size_t>(n) * tc * plane;
+              for (std::size_t i = 0; i < static_cast<std::size_t>(tc) * plane; ++i) {
+                parents[p]->grad[dst + i] += self.grad[src + i];
+              }
+            }
+            c_base += tc;
+          }
+        }
+      });
+}
+
+Tensor mul_channel(const Tensor& x, const Tensor& s) {
+  const Shape& xs = x.shape();
+  const Shape expected{xs.n, xs.c, 1, 1};
+  if (!(s.shape() == expected)) {
+    throw DimensionError("mul_channel: scale must be " + expected.str() + ", got " +
+                         s.shape().str());
+  }
+  std::vector<float> out(x.data().size());
+  const std::size_t plane = static_cast<std::size_t>(xs.h) * xs.w;
+  for (int n = 0; n < xs.n; ++n) {
+    for (int c = 0; c < xs.c; ++c) {
+      const float f = s.data()[static_cast<std::size_t>(n) * xs.c + c];
+      const std::size_t base = (static_cast<std::size_t>(n) * xs.c + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) out[base + i] = x.data()[base + i] * f;
+    }
+  }
+  NodePtr xn = x.node();
+  NodePtr sn = s.node();
+  return make_op_result(xs, std::move(out), {xn, sn}, [xn, sn, xs, plane](Node& self) {
+    const bool need_x = xn->requires_grad;
+    const bool need_s = sn->requires_grad;
+    if (need_x) xn->ensure_grad();
+    if (need_s) sn->ensure_grad();
+    for (int n = 0; n < xs.n; ++n) {
+      for (int c = 0; c < xs.c; ++c) {
+        const std::size_t si = static_cast<std::size_t>(n) * xs.c + c;
+        const float f = sn->data[si];
+        const std::size_t base = si * plane;
+        float s_acc = 0.0f;
+        for (std::size_t i = 0; i < plane; ++i) {
+          const float g = self.grad[base + i];
+          if (need_x) xn->grad[base + i] += g * f;
+          s_acc += g * xn->data[base + i];
+        }
+        if (need_s) sn->grad[si] += s_acc;
+      }
+    }
+  });
+}
+
+Tensor mul_spatial(const Tensor& x, const Tensor& s) {
+  const Shape& xs = x.shape();
+  const Shape expected{xs.n, 1, xs.h, xs.w};
+  if (!(s.shape() == expected)) {
+    throw DimensionError("mul_spatial: scale must be " + expected.str() + ", got " +
+                         s.shape().str());
+  }
+  std::vector<float> out(x.data().size());
+  const std::size_t plane = static_cast<std::size_t>(xs.h) * xs.w;
+  for (int n = 0; n < xs.n; ++n) {
+    const std::size_t sbase = static_cast<std::size_t>(n) * plane;
+    for (int c = 0; c < xs.c; ++c) {
+      const std::size_t base = (static_cast<std::size_t>(n) * xs.c + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        out[base + i] = x.data()[base + i] * s.data()[sbase + i];
+      }
+    }
+  }
+  NodePtr xn = x.node();
+  NodePtr sn = s.node();
+  return make_op_result(xs, std::move(out), {xn, sn}, [xn, sn, xs, plane](Node& self) {
+    const bool need_x = xn->requires_grad;
+    const bool need_s = sn->requires_grad;
+    if (need_x) xn->ensure_grad();
+    if (need_s) sn->ensure_grad();
+    for (int n = 0; n < xs.n; ++n) {
+      const std::size_t sbase = static_cast<std::size_t>(n) * plane;
+      for (int c = 0; c < xs.c; ++c) {
+        const std::size_t base = (static_cast<std::size_t>(n) * xs.c + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          const float g = self.grad[base + i];
+          if (need_x) xn->grad[base + i] += g * sn->data[sbase + i];
+          if (need_s) sn->grad[sbase + i] += g * xn->data[base + i];
+        }
+      }
+    }
+  });
+}
+
+Tensor channel_mean(const Tensor& x) {
+  const Shape& xs = x.shape();
+  Shape os{xs.n, 1, xs.h, xs.w};
+  std::vector<float> out(static_cast<std::size_t>(os.numel()), 0.0f);
+  const std::size_t plane = static_cast<std::size_t>(xs.h) * xs.w;
+  const float inv = 1.0f / static_cast<float>(xs.c);
+  for (int n = 0; n < xs.n; ++n) {
+    for (int c = 0; c < xs.c; ++c) {
+      const std::size_t base = (static_cast<std::size_t>(n) * xs.c + c) * plane;
+      const std::size_t obase = static_cast<std::size_t>(n) * plane;
+      for (std::size_t i = 0; i < plane; ++i) out[obase + i] += x.data()[base + i] * inv;
+    }
+  }
+  NodePtr xn = x.node();
+  return make_op_result(os, std::move(out), {xn}, [xn, xs, plane, inv](Node& self) {
+    xn->ensure_grad();
+    for (int n = 0; n < xs.n; ++n) {
+      const std::size_t obase = static_cast<std::size_t>(n) * plane;
+      for (int c = 0; c < xs.c; ++c) {
+        const std::size_t base = (static_cast<std::size_t>(n) * xs.c + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          xn->grad[base + i] += self.grad[obase + i] * inv;
+        }
+      }
+    }
+  });
+}
+
+Tensor channel_max(const Tensor& x) {
+  const Shape& xs = x.shape();
+  Shape os{xs.n, 1, xs.h, xs.w};
+  std::vector<float> out(static_cast<std::size_t>(os.numel()));
+  auto argmax = std::make_shared<std::vector<int>>(out.size());
+  const std::size_t plane = static_cast<std::size_t>(xs.h) * xs.w;
+  for (int n = 0; n < xs.n; ++n) {
+    const std::size_t obase = static_cast<std::size_t>(n) * plane;
+    for (std::size_t i = 0; i < plane; ++i) {
+      float best = -std::numeric_limits<float>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < xs.c; ++c) {
+        const float v = x.data()[(static_cast<std::size_t>(n) * xs.c + c) * plane + i];
+        if (v > best) {
+          best = v;
+          best_c = c;
+        }
+      }
+      out[obase + i] = best;
+      (*argmax)[obase + i] = best_c;
+    }
+  }
+  NodePtr xn = x.node();
+  return make_op_result(os, std::move(out), {xn}, [xn, xs, plane, argmax](Node& self) {
+    xn->ensure_grad();
+    for (int n = 0; n < xs.n; ++n) {
+      const std::size_t obase = static_cast<std::size_t>(n) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const int c = (*argmax)[obase + i];
+        xn->grad[(static_cast<std::size_t>(n) * xs.c + c) * plane + i] +=
+            self.grad[obase + i];
+      }
+    }
+  });
+}
+
+namespace {
+Tensor reduction_loss(const Tensor& pred, const Tensor& target, const Tensor* weight,
+                      bool squared) {
+  check_same_shape(pred, target, "loss");
+  if (weight) check_same_shape(pred, *weight, "loss weight");
+  const std::size_t n = pred.data().size();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pred.data()[i]) - target.data()[i];
+    const double w = weight ? weight->data()[i] : 1.0;
+    acc += w * (squared ? d * d : std::abs(d));
+  }
+  const float inv = 1.0f / static_cast<float>(n);
+  std::vector<float> out{static_cast<float>(acc / static_cast<double>(n))};
+  NodePtr pn = pred.node();
+  NodePtr tn = target.node();
+  NodePtr wn = weight ? weight->node() : nullptr;
+  std::vector<NodePtr> parents{pn, tn};
+  if (wn) parents.push_back(wn);
+  return make_op_result(
+      Shape{1, 1, 1, 1}, std::move(out), std::move(parents),
+      [pn, tn, wn, inv, squared](Node& self) {
+        // Gradient only w.r.t. pred; target/weight are labels (constants).
+        if (!pn->requires_grad) return;
+        pn->ensure_grad();
+        const float g = self.grad[0] * inv;
+        for (std::size_t i = 0; i < pn->data.size(); ++i) {
+          const float d = pn->data[i] - tn->data[i];
+          const float w = wn ? wn->data[i] : 1.0f;
+          pn->grad[i] += g * w * (squared ? 2.0f * d : (d > 0.0f ? 1.0f : d < 0.0f ? -1.0f : 0.0f));
+        }
+      });
+}
+}  // namespace
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  return reduction_loss(pred, target, nullptr, /*squared=*/true);
+}
+
+Tensor l1_loss(const Tensor& pred, const Tensor& target) {
+  return reduction_loss(pred, target, nullptr, /*squared=*/false);
+}
+
+Tensor weighted_mse_loss(const Tensor& pred, const Tensor& target, const Tensor& weight) {
+  return reduction_loss(pred, target, &weight, /*squared=*/true);
+}
+
+}  // namespace irf::nn

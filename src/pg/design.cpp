@@ -1,0 +1,18 @@
+#include "pg/design.hpp"
+
+namespace irf::pg {
+
+DesignStats compute_stats(const PgDesign& design) {
+  DesignStats s;
+  s.num_nodes = design.netlist.num_nodes();
+  s.num_resistors = static_cast<int>(design.netlist.resistors().size());
+  s.num_current_sources = static_cast<int>(design.netlist.current_sources().size());
+  s.num_pads = static_cast<int>(design.netlist.voltage_sources().size());
+  s.layers = design.netlist.layers();
+  for (const spice::CurrentSource& i : design.netlist.current_sources()) {
+    s.total_current += i.amps;
+  }
+  return s;
+}
+
+}  // namespace irf::pg

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file design.hpp
+/// A PG design: the SPICE netlist plus the metadata the ML pipeline needs
+/// (physical extent, nominal supply, easy/hard difficulty class).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace irf::pg {
+
+/// Difficulty class used by the curriculum (Section III-E): artificially
+/// generated designs are "easy", real(istic) designs are "hard".
+enum class DesignKind { kFake, kReal };
+
+struct PgDesign {
+  std::string name;
+  DesignKind kind = DesignKind::kFake;
+  double vdd = 1.1;              ///< nominal supply (V)
+  std::int64_t width_nm = 0;     ///< die extent
+  std::int64_t height_nm = 0;
+  spice::Netlist netlist;
+};
+
+/// Per-design summary used in logs and tests.
+struct DesignStats {
+  int num_nodes = 0;
+  int num_resistors = 0;
+  int num_current_sources = 0;
+  int num_pads = 0;
+  std::vector<int> layers;
+  double total_current = 0.0;  ///< sum of load currents (A)
+};
+
+DesignStats compute_stats(const PgDesign& design);
+
+}  // namespace irf::pg

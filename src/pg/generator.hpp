@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file generator.hpp
+/// Synthetic PG design generator — our substitute for the ICCAD-2023
+/// dataset (see DESIGN.md Section 1). Two families:
+///
+///  * fake: regular BeGAN-style stripe grids, uniform pad arrays, smooth
+///    Gaussian current hotspots (the contest's "artificially generated"
+///    designs, labelled "easy" by the curriculum);
+///  * real: irregular grids with damaged rails, macro blockages, perimeter-
+///    biased pads, resistance variation and skewed current (the "hard"
+///    class with a genuine distribution shift from the fake family).
+///
+/// Both produce standard SPICE netlists with coordinate node names, so the
+/// rest of the pipeline treats generated and parsed designs identically.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pg/design.hpp"
+
+namespace irf::pg {
+
+/// One metal layer of the generated stack, bottom to top.
+struct LayerSpec {
+  int metal = 1;            ///< metal index used in node names (m1 bottom)
+  bool horizontal = true;   ///< routing direction of the stripes
+  int stride_units = 1;     ///< node pitch in grid units; upper layers use
+                            ///< multiples of lower strides so vias align
+  double ohms_per_um = 0.5; ///< wire resistance per micron
+};
+
+struct GeneratorConfig {
+  std::int64_t unit_nm = 2000;  ///< one grid unit (2 um)
+  int units_x = 20;             ///< die extent in units (positions 0..units_x)
+  int units_y = 20;
+  double vdd = 1.1;
+
+  std::vector<LayerSpec> layers;  ///< empty -> default 4-layer stack
+  double via_ohms = 0.4;
+
+  // Pads (top layer). Fake designs use a uniform pads_x x pads_y array;
+  // real designs with `perimeter_pads` place them near the die edges only.
+  int pads_x = 3;
+  int pads_y = 3;
+  bool perimeter_pads = false;
+
+  // Cell current model: background + Gaussian hotspots on the bottom layer.
+  int num_hotspots = 3;
+  double hotspot_sigma_units = 3.0;  ///< mean hotspot radius
+  double hotspot_peak_ratio = 8.0;   ///< peak density over background
+  double background_density = 1.0;   ///< arbitrary unit, rescaled afterwards
+
+  /// After generation the currents are rescaled so the golden worst-case IR
+  /// drop equals this target (linearity makes the rescale exact). <= 0
+  /// disables the rescale.
+  double target_worst_ir_volts = 6e-3;
+
+  // Hardness knobs (all zero/false for fake designs).
+  double rail_damage_prob = 0.0;  ///< fraction of segments with 1000x resistance
+  int num_blockages = 0;          ///< macro blockages on the bottom layer
+  double resistance_sigma = 0.0;  ///< lognormal sigma applied to each resistor
+};
+
+/// Default 4-layer stack (M1 horizontal fine ... M9 vertical coarse).
+std::vector<LayerSpec> default_layer_stack();
+
+/// Configs tuned for a die of `image_px` 1x1 um pixels.
+GeneratorConfig fake_design_config(int image_px);
+GeneratorConfig real_design_config(int image_px);
+
+/// Generate one design. The generator stamps the netlist, verifies pad
+/// reachability, golden-solves once and rescales currents to hit the target
+/// worst-case IR drop.
+PgDesign generate_design(const GeneratorConfig& config, Rng& rng, std::string name,
+                         DesignKind kind);
+
+/// Convenience wrappers with per-kind configs and randomized knobs.
+PgDesign generate_fake_design(int image_px, Rng& rng, std::string name);
+PgDesign generate_real_design(int image_px, Rng& rng, std::string name);
+
+}  // namespace irf::pg

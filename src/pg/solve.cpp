@@ -1,0 +1,48 @@
+#include "pg/solve.hpp"
+
+namespace irf::pg {
+
+PgSolver::PgSolver(const PgDesign& design, solver::AmgOptions amg_options)
+    : design_(design), mna_(assemble_mna(design.netlist)) {
+  solver_ = std::make_unique<solver::AmgPcgSolver>(mna_.conductance, amg_options);
+}
+
+PgSolution PgSolver::finalize(const solver::SolveResult& result) const {
+  PgSolution sol;
+  sol.node_voltage = expand_to_node_voltages(mna_, design_.netlist, result.x);
+  sol.ir_drop.resize(sol.node_voltage.size());
+  for (std::size_t i = 0; i < sol.node_voltage.size(); ++i) {
+    sol.ir_drop[i] = design_.vdd - sol.node_voltage[i];
+  }
+  sol.iterations = result.iterations;
+  sol.converged = result.converged;
+  sol.final_relative_residual = result.final_relative_residual;
+  sol.setup_seconds = result.setup_seconds;
+  sol.solve_seconds = result.solve_seconds;
+  return sol;
+}
+
+PgSolution PgSolver::solve_golden(double rel_tolerance) const {
+  const linalg::Vec x0 = flat_supply_guess();
+  return finalize(solver_->solve_golden(mna_.rhs, rel_tolerance, /*max_iterations=*/2000,
+                                        &x0));
+}
+
+PgSolution PgSolver::solve_rough(int iterations) const {
+  const linalg::Vec x0 = flat_supply_guess();
+  return finalize(solver_->solve_rough(mna_.rhs, iterations, &x0));
+}
+
+linalg::Vec PgSolver::flat_supply_guess() const {
+  // Warm start at the nominal supply: the initial error is exactly the IR
+  // drop (millivolts) rather than the full rail voltage, so even 1-2 PCG
+  // iterations produce a usable rough solution.
+  return linalg::Vec(mna_.eq_to_node.size(), design_.vdd);
+}
+
+PgSolution golden_solve(const PgDesign& design, double rel_tolerance) {
+  PgSolver solver(design);
+  return solver.solve_golden(rel_tolerance);
+}
+
+}  // namespace irf::pg

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file solve.hpp
+/// End-to-end PG solves: netlist -> MNA -> AMG-PCG -> per-node voltages and
+/// IR drops. This is the numerical half of IR-Fusion; the same entry points
+/// produce golden labels (tight tolerance) and rough feature solutions
+/// (fixed small iteration count).
+
+#include "pg/design.hpp"
+#include "pg/mna.hpp"
+#include "solver/amg_pcg.hpp"
+
+namespace irf::pg {
+
+/// A solved PG: voltages/IR drops indexed by netlist node id.
+struct PgSolution {
+  linalg::Vec node_voltage;
+  linalg::Vec ir_drop;                    ///< vdd - voltage, per node
+  int iterations = 0;
+  bool converged = false;
+  double final_relative_residual = 0.0;
+  double setup_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+/// Reusable solver context: assembles MNA and runs AMG setup once so that
+/// golden and rough solves share the hierarchy (exactly how the pipeline
+/// uses it).
+class PgSolver {
+ public:
+  explicit PgSolver(const PgDesign& design,
+                    solver::AmgOptions amg_options = {});
+
+  /// Solve to a tight tolerance (golden label quality).
+  PgSolution solve_golden(double rel_tolerance = 1e-10) const;
+
+  /// Run exactly `iterations` AMG-PCG iterations (rough solution mode).
+  PgSolution solve_rough(int iterations) const;
+
+  const MnaSystem& system() const { return mna_; }
+  const solver::AmgPcgSolver& amg_pcg() const { return *solver_; }
+
+ private:
+  PgSolution finalize(const solver::SolveResult& result) const;
+  linalg::Vec flat_supply_guess() const;
+
+  const PgDesign& design_;
+  MnaSystem mna_;
+  std::unique_ptr<solver::AmgPcgSolver> solver_;
+};
+
+/// One-shot golden solve (convenience for tests/examples).
+PgSolution golden_solve(const PgDesign& design, double rel_tolerance = 1e-10);
+
+}  // namespace irf::pg

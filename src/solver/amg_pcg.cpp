@@ -1,0 +1,37 @@
+#include "solver/amg_pcg.hpp"
+
+#include "common/stopwatch.hpp"
+
+namespace irf::solver {
+
+AmgPcgSolver::AmgPcgSolver(const linalg::CsrMatrix& a, AmgOptions amg_options)
+    : matrix_(a) {
+  Stopwatch timer;
+  hierarchy_ = std::make_unique<AmgHierarchy>(matrix_, amg_options);
+  setup_seconds_ = timer.seconds();
+}
+
+SolveResult AmgPcgSolver::solve(const linalg::Vec& b, const SolveOptions& options,
+                                const linalg::Vec* x0) const {
+  SolveResult result = preconditioned_cg(matrix_, b, *hierarchy_, options, x0);
+  result.setup_seconds = setup_seconds_;
+  return result;
+}
+
+SolveResult AmgPcgSolver::solve_rough(const linalg::Vec& b, int iterations,
+                                      const linalg::Vec* x0) const {
+  SolveOptions options;
+  options.max_iterations = iterations;
+  options.rel_tolerance = 0.0;  // never stop early: iteration count is the contract
+  return solve(b, options, x0);
+}
+
+SolveResult AmgPcgSolver::solve_golden(const linalg::Vec& b, double rel_tolerance,
+                                       int max_iterations, const linalg::Vec* x0) const {
+  SolveOptions options;
+  options.max_iterations = max_iterations;
+  options.rel_tolerance = rel_tolerance;
+  return solve(b, options, x0);
+}
+
+}  // namespace irf::solver

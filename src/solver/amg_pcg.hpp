@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file amg_pcg.hpp
+/// The AMG-PCG facade — the "efficient numerical solver" of the paper
+/// (PowerRush-style: aggregation AMG + K-cycle preconditioned CG). A solver
+/// object performs the setup stage once and can then be asked for solutions
+/// at different iteration budgets, which is exactly how IR-Fusion consumes
+/// it (few iterations for rough features, many for golden labels).
+
+#include <memory>
+
+#include "linalg/csr.hpp"
+#include "solver/amg.hpp"
+#include "solver/cg.hpp"
+
+namespace irf::solver {
+
+class AmgPcgSolver {
+ public:
+  /// Runs the AMG setup stage on `a`. The matrix is copied into the hierarchy.
+  explicit AmgPcgSolver(const linalg::CsrMatrix& a, AmgOptions amg_options = {});
+
+  /// Solve A x = b under the given iteration/tolerance controls. `x0` is an
+  /// optional warm start (PG analysis uses the flat supply voltage).
+  SolveResult solve(const linalg::Vec& b, const SolveOptions& options = {},
+                    const linalg::Vec* x0 = nullptr) const;
+
+  /// Convenience: run exactly `iterations` PCG iterations (no tolerance
+  /// stop) — the "rough solution" mode of Section III-B.
+  SolveResult solve_rough(const linalg::Vec& b, int iterations,
+                          const linalg::Vec* x0 = nullptr) const;
+
+  /// Convenience: solve to a tight tolerance for golden labels.
+  SolveResult solve_golden(const linalg::Vec& b, double rel_tolerance = 1e-10,
+                           int max_iterations = 2000,
+                           const linalg::Vec* x0 = nullptr) const;
+
+  const AmgHierarchy& hierarchy() const { return *hierarchy_; }
+  double setup_seconds() const { return setup_seconds_; }
+
+ private:
+  linalg::CsrMatrix matrix_;
+  std::unique_ptr<AmgHierarchy> hierarchy_;
+  double setup_seconds_ = 0.0;
+};
+
+}  // namespace irf::solver

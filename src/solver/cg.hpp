@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file cg.hpp
+/// Conjugate gradient and preconditioned conjugate gradient drivers
+/// (Section III-B of the paper, Equations (3)-(5)).
+
+#include "linalg/csr.hpp"
+#include "solver/preconditioner.hpp"
+#include "solver/solve_result.hpp"
+
+namespace irf::solver {
+
+/// Plain CG on an SPD system A x = b. `x0` (optional) is the initial guess;
+/// PG solves warm-start from the flat supply voltage so the initial error is
+/// only the IR drop itself.
+SolveResult conjugate_gradient(const linalg::CsrMatrix& a, const linalg::Vec& b,
+                               const SolveOptions& options = {},
+                               const linalg::Vec* x0 = nullptr);
+
+/// Preconditioned CG. When `precond.is_variable()` is true (e.g. the AMG
+/// K-cycle) the driver switches to the flexible Polak-Ribiere beta
+///   beta = z_{k+1}^T (r_{k+1} - r_k) / (z_k^T r_k)
+/// which keeps convergence with a slightly varying preconditioner.
+SolveResult preconditioned_cg(const linalg::CsrMatrix& a, const linalg::Vec& b,
+                              Preconditioner& precond, const SolveOptions& options = {},
+                              const linalg::Vec* x0 = nullptr);
+
+}  // namespace irf::solver

@@ -1,0 +1,104 @@
+#include "solver/ichol.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace irf::solver {
+
+using linalg::CsrMatrix;
+using linalg::Vec;
+
+IncompleteCholesky::IncompleteCholesky(const CsrMatrix& a) {
+  if (a.rows() != a.cols()) throw DimensionError("IC(0) needs a square matrix");
+  if (!a.is_symmetric(1e-9)) throw NumericError("IC(0) needs a symmetric matrix");
+  n_ = a.rows();
+  double shift = 0.0;
+  double max_diag = 0.0;
+  for (double d : a.diagonal()) max_diag = std::max(max_diag, std::abs(d));
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    if (try_factor(a, shift)) {
+      shift_ = shift;
+      return;
+    }
+    shift = shift == 0.0 ? 1e-8 * max_diag : 2.0 * shift;
+  }
+  throw NumericError("IC(0): factorization failed even with large diagonal shift");
+}
+
+bool IncompleteCholesky::try_factor(const CsrMatrix& a, double shift) {
+  // Build the lower-triangle pattern of A row by row and fill values with
+  // the IC(0) update: L(i,j) = (A(i,j) - sum_k L(i,k) L(j,k)) / L(j,j),
+  // restricted to A's pattern.
+  row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  col_idx_.clear();
+  values_.clear();
+  diag_.assign(static_cast<std::size_t>(n_), 0.0);
+
+  const auto& arp = a.row_ptr();
+  const auto& aci = a.col_idx();
+  const auto& av = a.values();
+
+  // Column-indexed access into the partially built L for the dot products.
+  std::vector<std::unordered_map<int, double>> l_row(static_cast<std::size_t>(n_));
+
+  for (int i = 0; i < n_; ++i) {
+    for (int k = arp[i]; k < arp[i + 1]; ++k) {
+      const int j = aci[k];
+      if (j > i) continue;  // lower triangle only
+      double sum = av[k] + (i == j ? shift : 0.0);
+      // sum -= sum_{t < j} L(i,t) * L(j,t): iterate the sparser row.
+      const auto& shorter = l_row[i].size() < l_row[j].size() ? l_row[i] : l_row[j];
+      const auto& longer = l_row[i].size() < l_row[j].size() ? l_row[j] : l_row[i];
+      for (const auto& [t, lv] : shorter) {
+        if (t >= j) continue;
+        auto it = longer.find(t);
+        if (it != longer.end()) sum -= lv * it->second;
+      }
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) return false;
+        const double lii = std::sqrt(sum);
+        diag_[static_cast<std::size_t>(i)] = lii;
+        l_row[i][i] = lii;
+        col_idx_.push_back(i);
+        values_.push_back(lii);
+      } else {
+        const double lij = sum / diag_[static_cast<std::size_t>(j)];
+        l_row[i][j] = lij;
+        col_idx_.push_back(j);
+        values_.push_back(lij);
+      }
+    }
+    row_ptr_[i + 1] = static_cast<int>(col_idx_.size());
+  }
+  return true;
+}
+
+void IncompleteCholesky::apply(const Vec& r, Vec& z) {
+  if (static_cast<int>(r.size()) != n_) throw DimensionError("IC(0) apply size mismatch");
+  // Forward solve L y = r. Rows store columns ascending with the diagonal
+  // as the last in-pattern entry <= i; find it by value of col.
+  Vec y(r);
+  for (int i = 0; i < n_; ++i) {
+    double s = y[i];
+    double dii = diag_[static_cast<std::size_t>(i)];
+    for (int k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const int j = col_idx_[k];
+      if (j < i) s -= values_[k] * y[j];
+    }
+    y[i] = s / dii;
+  }
+  // Backward solve L^T z = y.
+  z = y;
+  for (int i = n_ - 1; i >= 0; --i) {
+    z[i] /= diag_[static_cast<std::size_t>(i)];
+    const double zi = z[i];
+    for (int k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const int j = col_idx_[k];
+      if (j < i) z[j] -= values_[k] * zi;
+    }
+  }
+}
+
+}  // namespace irf::solver

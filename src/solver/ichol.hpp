@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file ichol.hpp
+/// Zero-fill incomplete Cholesky preconditioner IC(0) — our stand-in for
+/// the sparse-factorization preconditioner family the paper cites
+/// (PowerRChol's randomized Cholesky). The factor keeps exactly the lower
+/// triangle of A's sparsity pattern; diagonal shifts are applied
+/// automatically if a pivot fails (Manteuffel shift).
+
+#include "linalg/csr.hpp"
+#include "solver/preconditioner.hpp"
+
+namespace irf::solver {
+
+class IncompleteCholesky final : public Preconditioner {
+ public:
+  /// Factor A (SPD, symmetric sparsity). Tries shift = 0 first and doubles
+  /// an additive diagonal shift until the factorization succeeds.
+  explicit IncompleteCholesky(const linalg::CsrMatrix& a);
+
+  /// z = (L L^T)^{-1} r via two triangular solves.
+  void apply(const linalg::Vec& r, linalg::Vec& z) override;
+
+  /// The diagonal shift that was needed (0 for most PG matrices).
+  double shift() const { return shift_; }
+
+ private:
+  bool try_factor(const linalg::CsrMatrix& a, double shift);
+
+  int n_ = 0;
+  // L in CSR (lower triangle, diagonal last in each row).
+  std::vector<int> row_ptr_;
+  std::vector<int> col_idx_;
+  std::vector<double> values_;
+  std::vector<double> diag_;  ///< L's diagonal entries for fast division
+  double shift_ = 0.0;
+};
+
+}  // namespace irf::solver

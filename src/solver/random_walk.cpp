@@ -1,0 +1,113 @@
+#include "solver/random_walk.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace irf::solver {
+
+using spice::kGround;
+using spice::Netlist;
+using spice::NodeId;
+
+RandomWalkSolver::RandomWalkSolver(const Netlist& netlist, RandomWalkOptions options)
+    : options_(options) {
+  if (options_.walks_per_node < 1) throw ConfigError("random walk needs >= 1 walk");
+  spice::CircuitTopology topo(netlist);
+  if (!topo.all_nodes_reach_pad()) {
+    throw NumericError("random walk: some node cannot reach a pad; walks never end");
+  }
+  nodes_.resize(static_cast<std::size_t>(topo.num_nodes()));
+  for (NodeId id = 0; id < topo.num_nodes(); ++id) {
+    NodeData& nd = nodes_[static_cast<std::size_t>(id)];
+    nd.is_pad = topo.is_pad(id);
+    if (nd.is_pad) {
+      nd.pad_voltage = topo.pad_voltage()[id];
+      continue;
+    }
+    double total = 0.0;
+    for (const spice::Wire& w : topo.wires_of(id)) {
+      if (w.other == kGround) {
+        // A conductance to ground acts as an absorbing transition to a
+        // 0-volt pad; fold it into the walk the same way.
+        total += w.conductance;
+        nd.neighbour.push_back(kGround);
+        nd.cumulative.push_back(total);
+        continue;
+      }
+      total += w.conductance;
+      nd.neighbour.push_back(w.other);
+      nd.cumulative.push_back(total);
+    }
+    if (total <= 0.0) {
+      throw NumericError("random walk: node " + std::to_string(id) + " has no wires");
+    }
+    nd.total_conductance = total;
+    // MNA row: g_total * v_i - sum g_ij v_j = -I_load  =>
+    // v_i = sum (g_ij/g_total) v_j - I_load/g_total.
+    nd.local_cost = -topo.load_current()[id] / total;
+    for (double& c : nd.cumulative) c /= total;
+  }
+}
+
+double RandomWalkSolver::run_walk(NodeId start, Rng& rng) const {
+  double reward = 0.0;
+  NodeId at = start;
+  for (int step = 0; step < options_.max_steps; ++step) {
+    const NodeData& nd = nodes_[static_cast<std::size_t>(at)];
+    if (nd.is_pad) return reward + nd.pad_voltage;
+    reward += nd.local_cost;
+    const double u = rng.uniform();
+    // Binary search the cumulative transition distribution.
+    std::size_t lo = 0, hi = nd.cumulative.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (u <= nd.cumulative[mid]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    const NodeId next = nd.neighbour[lo];
+    if (next == kGround) return reward;  // absorbed at ground (0 V)
+    at = next;
+  }
+  throw NumericError("random walk exceeded max_steps without reaching a pad");
+}
+
+RandomWalkEstimate RandomWalkSolver::estimate(NodeId node) const {
+  if (node < 0 || node >= static_cast<NodeId>(nodes_.size())) {
+    throw DimensionError("random walk: bad node id");
+  }
+  const NodeData& nd = nodes_[static_cast<std::size_t>(node)];
+  RandomWalkEstimate est;
+  if (nd.is_pad) {
+    est.voltage = nd.pad_voltage;
+    est.walks = 0;
+    return est;
+  }
+  Rng rng(options_.seed ^ (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(node) + 1)));
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int w = 0; w < options_.walks_per_node; ++w) {
+    const double v = run_walk(node, rng);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double n = options_.walks_per_node;
+  est.voltage = sum / n;
+  const double var = std::max(0.0, sum_sq / n - est.voltage * est.voltage);
+  est.std_error = std::sqrt(var / n);
+  est.walks = options_.walks_per_node;
+  return est;
+}
+
+linalg::Vec RandomWalkSolver::solve_all() const {
+  linalg::Vec v(nodes_.size(), 0.0);
+  for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id) {
+    v[static_cast<std::size_t>(id)] = estimate(id).voltage;
+  }
+  return v;
+}
+
+}  // namespace irf::solver

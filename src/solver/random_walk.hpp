@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file random_walk.hpp
+/// Monte-Carlo power-grid solver (Qian, Nassif & Sapatnekar, TCAD'05) — one
+/// of the iterative solver families the paper's introduction surveys. The
+/// voltage of a node equals the expected reward of a random walk that steps
+/// to neighbours with probability proportional to edge conductance, pays
+/// the local current-injection cost at every visit, and terminates at pads
+/// (Dirichlet nodes) collecting the pad voltage.
+///
+/// Useful both as an accuracy baseline and for single-node queries where
+/// assembling/factoring the whole system is wasteful.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "linalg/csr.hpp"
+#include "spice/netlist.hpp"
+#include "spice/topology.hpp"
+
+namespace irf::solver {
+
+struct RandomWalkOptions {
+  int walks_per_node = 400;   ///< Monte-Carlo samples per queried node
+  int max_steps = 200000;     ///< safety cap per walk
+  std::uint64_t seed = 1;
+};
+
+/// Estimate of one node's voltage plus sampling statistics.
+struct RandomWalkEstimate {
+  double voltage = 0.0;
+  double std_error = 0.0;  ///< standard error of the mean
+  int walks = 0;
+};
+
+/// Random-walk engine over a PG netlist topology.
+class RandomWalkSolver {
+ public:
+  explicit RandomWalkSolver(const spice::Netlist& netlist,
+                            RandomWalkOptions options = {});
+
+  /// Estimate the voltage at `node` (must not be a pad; pads return their
+  /// fixed voltage exactly).
+  RandomWalkEstimate estimate(spice::NodeId node) const;
+
+  /// Estimate every node's voltage (expensive; baseline use only).
+  linalg::Vec solve_all() const;
+
+ private:
+  struct NodeData {
+    // Cumulative transition distribution over neighbour edges.
+    std::vector<double> cumulative;
+    std::vector<spice::NodeId> neighbour;
+    double total_conductance = 0.0;
+    double local_cost = 0.0;  ///< -I_load / g_total paid per visit
+    double pad_voltage = 0.0;
+    bool is_pad = false;
+  };
+
+  double run_walk(spice::NodeId start, Rng& rng) const;
+
+  RandomWalkOptions options_;
+  std::vector<NodeData> nodes_;
+};
+
+}  // namespace irf::solver

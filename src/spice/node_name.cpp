@@ -1,0 +1,53 @@
+#include "spice/node_name.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace irf::spice {
+
+namespace {
+
+bool parse_int_piece(std::string_view piece, std::int64_t& out) {
+  if (piece.empty()) return false;
+  auto [ptr, ec] = std::from_chars(piece.data(), piece.data() + piece.size(), out);
+  return ec == std::errc() && ptr == piece.data() + piece.size();
+}
+
+}  // namespace
+
+bool is_coordinate_name(std::string_view name) {
+  std::vector<std::string> parts = split(name, '_');
+  if (parts.size() != 4) return false;
+  if (parts[0].size() < 2 || (parts[0][0] != 'n' && parts[0][0] != 'N')) return false;
+  if (parts[1].size() < 2 || (parts[1][0] != 'm' && parts[1][0] != 'M')) return false;
+  std::int64_t v = 0;
+  return parse_int_piece(std::string_view(parts[0]).substr(1), v) &&
+         parse_int_piece(std::string_view(parts[1]).substr(1), v) &&
+         parse_int_piece(parts[2], v) && parse_int_piece(parts[3], v);
+}
+
+NodeCoords parse_node_name(std::string_view name) {
+  if (!is_coordinate_name(name)) {
+    throw ParseError("node name '" + std::string(name) +
+                     "' does not match n<net>_m<layer>_<x>_<y>");
+  }
+  std::vector<std::string> parts = split(name, '_');
+  NodeCoords c;
+  std::int64_t v = 0;
+  parse_int_piece(std::string_view(parts[0]).substr(1), v);
+  c.net = static_cast<int>(v);
+  parse_int_piece(std::string_view(parts[1]).substr(1), v);
+  c.layer = static_cast<int>(v);
+  parse_int_piece(parts[2], c.x_nm);
+  parse_int_piece(parts[3], c.y_nm);
+  return c;
+}
+
+std::string make_node_name(const NodeCoords& coords) {
+  return "n" + std::to_string(coords.net) + "_m" + std::to_string(coords.layer) + "_" +
+         std::to_string(coords.x_nm) + "_" + std::to_string(coords.y_nm);
+}
+
+}  // namespace irf::spice

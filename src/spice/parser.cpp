@@ -1,0 +1,182 @@
+#include "spice/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "spice/value.hpp"
+
+namespace irf::spice {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& message) {
+  throw ParseError("line " + std::to_string(line_no) + ": " + message);
+}
+
+void parse_card(Netlist& netlist, const std::string& card, int line_no) {
+  std::vector<std::string> tokens = split_ws(card);
+  if (tokens.empty()) return;
+  const std::string& head = tokens[0];
+  const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(head[0])));
+
+  if (kind == '.') {
+    std::string directive = to_lower(head);
+    if (directive == ".end" || directive == ".op" || directive == ".ends" ||
+        directive == ".option" || directive == ".options") {
+      return;  // recognized control cards are no-ops for static PG analysis
+    }
+    fail(line_no, "unsupported control card '" + head + "'");
+  }
+
+  if (kind == 'r') {
+    if (tokens.size() != 4) fail(line_no, "resistor needs 'Rname a b value'");
+    NodeId a = netlist.intern_node(tokens[1]);
+    NodeId b = netlist.intern_node(tokens[2]);
+    double ohms = 0.0;
+    try {
+      ohms = parse_value(tokens[3]);
+    } catch (const ParseError& e) {
+      fail(line_no, e.what());
+    }
+    if (a == kGround && b == kGround) fail(line_no, "resistor between ground and ground");
+    try {
+      netlist.add_resistor(head, a, b, ohms);
+    } catch (const ParseError& e) {
+      fail(line_no, e.what());
+    }
+    return;
+  }
+
+  if (kind == 'i') {
+    if (tokens.size() < 4) fail(line_no, "current source needs 'Iname from to value'");
+    NodeId from = netlist.intern_node(tokens[1]);
+    NodeId to = netlist.intern_node(tokens[2]);
+    // PG current loads draw from a PG node into ground. Accept either
+    // orientation and normalize to "drawn from the non-ground node".
+    NodeId node = kGround;
+    double sign = 1.0;
+    if (from != kGround && to == kGround) {
+      node = from;
+    } else if (from == kGround && to != kGround) {
+      node = to;
+      sign = -1.0;
+    } else {
+      fail(line_no, "current source must connect a PG node to ground");
+    }
+    // Either a plain value or a PWL(t1 v1 t2 v2 ...) waveform. The card was
+    // whitespace-split, so re-join the tail and strip the PWL(...) wrapper.
+    std::string tail;
+    for (std::size_t i = 3; i < tokens.size(); ++i) {
+      if (i > 3) tail += ' ';
+      tail += tokens[i];
+    }
+    try {
+      if (starts_with_ci(tail, "pwl")) {
+        std::size_t open = tail.find('(');
+        std::size_t close = tail.rfind(')');
+        if (open == std::string::npos || close == std::string::npos || close < open) {
+          fail(line_no, "malformed PWL(...) body");
+        }
+        std::string body = tail.substr(open + 1, close - open - 1);
+        for (char& c : body) {
+          if (c == ',') c = ' ';
+        }
+        Waveform w = parse_pwl(split_ws(body));
+        if (sign < 0.0) w.scale(-1.0);
+        netlist.add_current_source(head, node, std::move(w));
+      } else {
+        if (tokens.size() != 4) fail(line_no, "current source needs a single value");
+        netlist.add_current_source(head, node, sign * parse_value(tokens[3]));
+      }
+    } catch (const ParseError& e) {
+      fail(line_no, e.what());
+    }
+    return;
+  }
+
+  if (kind == 'c') {
+    if (tokens.size() != 4) fail(line_no, "capacitor needs 'Cname a b value'");
+    NodeId a = netlist.intern_node(tokens[1]);
+    NodeId b = netlist.intern_node(tokens[2]);
+    if (a == kGround && b == kGround) fail(line_no, "capacitor between ground and ground");
+    try {
+      netlist.add_capacitor(head, a, b, parse_value(tokens[3]));
+    } catch (const ParseError& e) {
+      fail(line_no, e.what());
+    }
+    return;
+  }
+
+  if (kind == 'v') {
+    if (tokens.size() != 4) fail(line_no, "voltage source needs 'Vname n+ n- value'");
+    NodeId plus = netlist.intern_node(tokens[1]);
+    NodeId minus = netlist.intern_node(tokens[2]);
+    double volts = 0.0;
+    try {
+      volts = parse_value(tokens[3]);
+    } catch (const ParseError& e) {
+      fail(line_no, e.what());
+    }
+    if (plus != kGround && minus == kGround) {
+      netlist.add_voltage_source(head, plus, volts);
+    } else if (plus == kGround && minus != kGround) {
+      netlist.add_voltage_source(head, minus, -volts);
+    } else {
+      fail(line_no, "voltage source must connect a PG node to ground");
+    }
+    return;
+  }
+
+  fail(line_no,
+       "unsupported element '" + head + "' (only R, I, V, C are valid in a PG deck)");
+}
+
+}  // namespace
+
+Netlist parse(std::istream& in) {
+  Netlist netlist;
+  std::string line;
+  std::string pending;  // card accumulated across '+' continuations
+  int pending_line = 0;
+  int line_no = 0;
+  auto flush = [&] {
+    if (!pending.empty()) parse_card(netlist, pending, pending_line);
+    pending.clear();
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing comment introduced by '$' or ';'.
+    for (char c : {'$', ';'}) {
+      std::size_t pos = line.find(c);
+      if (pos != std::string::npos) line.erase(pos);
+    }
+    std::string text = trim(line);
+    if (text.empty() || text[0] == '*') continue;
+    if (text[0] == '+') {
+      if (pending.empty()) fail(line_no, "continuation with no preceding card");
+      pending += " " + text.substr(1);
+      continue;
+    }
+    flush();
+    pending = text;
+    pending_line = line_no;
+  }
+  flush();
+  netlist.validate();
+  return netlist;
+}
+
+Netlist parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+Netlist parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open netlist file: " + path);
+  return parse(in);
+}
+
+}  // namespace irf::spice

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file parser.hpp
+/// SPICE netlist parser for PG decks: R/I/V cards, `*` comments, `+`
+/// continuation lines, `.end`/`.op` control cards, engineering-suffix
+/// values. Anything else is a ParseError with a line number.
+
+#include <istream>
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace irf::spice {
+
+/// Parse a netlist from a stream.
+Netlist parse(std::istream& in);
+
+/// Parse a netlist from text.
+Netlist parse_string(const std::string& text);
+
+/// Parse a netlist from a file path.
+Netlist parse_file(const std::string& path);
+
+}  // namespace irf::spice

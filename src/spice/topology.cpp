@@ -1,0 +1,73 @@
+#include "spice/topology.hpp"
+
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace irf::spice {
+
+CircuitTopology::CircuitTopology(const Netlist& netlist) {
+  const int n = netlist.num_nodes();
+  adjacency_.resize(static_cast<std::size_t>(n));
+  load_current_.assign(static_cast<std::size_t>(n), 0.0);
+  pad_voltage_.assign(static_cast<std::size_t>(n),
+                      std::numeric_limits<double>::quiet_NaN());
+
+  for (const Resistor& r : netlist.resistors()) {
+    const double g = 1.0 / r.ohms;
+    if (r.a != kGround) adjacency_[r.a].push_back({r.b, g, r.ohms});
+    if (r.b != kGround) adjacency_[r.b].push_back({r.a, g, r.ohms});
+  }
+  for (const CurrentSource& i : netlist.current_sources()) {
+    if (i.node != kGround) load_current_[i.node] += i.amps;
+  }
+  for (const VoltageSource& v : netlist.voltage_sources()) {
+    pad_voltage_[v.node] = v.volts;
+  }
+}
+
+const std::vector<Wire>& CircuitTopology::wires_of(NodeId node) const {
+  if (node < 0 || node >= num_nodes()) throw DimensionError("wires_of: bad node id");
+  return adjacency_[static_cast<std::size_t>(node)];
+}
+
+bool CircuitTopology::is_pad(NodeId node) const {
+  if (node < 0 || node >= num_nodes()) throw DimensionError("is_pad: bad node id");
+  return !std::isnan(pad_voltage_[static_cast<std::size_t>(node)]);
+}
+
+std::vector<NodeId> CircuitTopology::pad_nodes() const {
+  std::vector<NodeId> pads;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (is_pad(i)) pads.push_back(i);
+  }
+  return pads;
+}
+
+bool CircuitTopology::all_nodes_reach_pad() const {
+  std::vector<char> reached(static_cast<std::size_t>(num_nodes()), 0);
+  std::deque<NodeId> queue;
+  for (NodeId pad : pad_nodes()) {
+    reached[static_cast<std::size_t>(pad)] = 1;
+    queue.push_back(pad);
+  }
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (const Wire& w : adjacency_[static_cast<std::size_t>(u)]) {
+      if (w.other == kGround) continue;
+      if (!reached[static_cast<std::size_t>(w.other)]) {
+        reached[static_cast<std::size_t>(w.other)] = 1;
+        queue.push_back(w.other);
+      }
+    }
+  }
+  for (char c : reached) {
+    if (!c) return false;
+  }
+  return true;
+}
+
+}  // namespace irf::spice

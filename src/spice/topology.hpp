@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file topology.hpp
+/// The "circuit generator" of Section III-B: turns the parsed element sets
+/// into a linked topology (nodes list + wires map) from which the MNA
+/// conductance matrix and graph algorithms (shortest-path resistance) are
+/// derived.
+
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace irf::spice {
+
+/// One conductive edge of the PG graph.
+struct Wire {
+  NodeId other = kGround;   ///< neighbour node (kGround for ground hookups)
+  double conductance = 0.0; ///< 1/ohms
+  double ohms = 0.0;
+};
+
+/// Adjacency view of the PG plus per-node load/pad annotations.
+class CircuitTopology {
+ public:
+  explicit CircuitTopology(const Netlist& netlist);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+
+  const std::vector<Wire>& wires_of(NodeId node) const;
+
+  /// Net current drawn from each node (A). Sums multiple sources on a node.
+  const std::vector<double>& load_current() const { return load_current_; }
+
+  /// Pad voltage per node; NaN when the node is not a pad.
+  const std::vector<double>& pad_voltage() const { return pad_voltage_; }
+
+  bool is_pad(NodeId node) const;
+
+  /// Ids of all pad nodes.
+  std::vector<NodeId> pad_nodes() const;
+
+  /// True if every node can reach some pad through resistors (required for a
+  /// non-singular static solve).
+  bool all_nodes_reach_pad() const;
+
+ private:
+  std::vector<std::vector<Wire>> adjacency_;
+  std::vector<double> load_current_;
+  std::vector<double> pad_voltage_;  // NaN == not a pad
+};
+
+}  // namespace irf::spice

@@ -1,0 +1,57 @@
+#include "spice/value.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace irf::spice {
+
+double parse_value(std::string_view token) {
+  const std::string text = trim(token);
+  if (text.empty()) throw ParseError("empty SPICE value");
+  std::size_t pos = 0;
+  double base = 0.0;
+  try {
+    base = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw ParseError("bad SPICE value '" + text + "'");
+  }
+  std::string suffix = to_lower(std::string_view(text).substr(pos));
+  // SPICE ignores trailing unit letters after a recognized suffix ("kohm").
+  double mult = 1.0;
+  if (suffix.empty()) {
+    mult = 1.0;
+  } else if (suffix.rfind("meg", 0) == 0) {
+    mult = 1e6;
+  } else {
+    switch (suffix[0]) {
+      case 'f': mult = 1e-15; break;
+      case 'p': mult = 1e-12; break;
+      case 'n': mult = 1e-9; break;
+      case 'u': mult = 1e-6; break;
+      case 'm': mult = 1e-3; break;
+      case 'k': mult = 1e3; break;
+      case 'g': mult = 1e9; break;
+      case 't': mult = 1e12; break;
+      default:
+        throw ParseError("unknown SPICE suffix '" + suffix + "' in '" + text + "'");
+    }
+  }
+  return base * mult;
+}
+
+std::string format_value(double value) {
+  // 17 significant digits guarantee an exact double round-trip; try the
+  // shorter 12-digit form first so typical values stay readable.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  if (std::strtod(buf, nullptr) == value) return buf;
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace irf::spice

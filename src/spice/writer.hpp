@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file writer.hpp
+/// Serialize a Netlist back to SPICE text. write/parse round-trips exactly
+/// (same elements, same node names), which the integration tests rely on.
+
+#include <ostream>
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace irf::spice {
+
+void write(const Netlist& netlist, std::ostream& out);
+
+std::string write_string(const Netlist& netlist);
+
+void write_file(const Netlist& netlist, const std::string& path);
+
+}  // namespace irf::spice

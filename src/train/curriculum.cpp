@@ -1,0 +1,49 @@
+#include "train/curriculum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace irf::train {
+
+CurriculumScheduler::CurriculumScheduler(const std::vector<Sample>& samples,
+                                         int total_epochs, CurriculumOptions options,
+                                         Rng rng)
+    : total_epochs_(total_epochs), options_(options), rng_(rng) {
+  if (total_epochs < 1) throw ConfigError("curriculum needs >= 1 epoch");
+  for (int i = 0; i < static_cast<int>(samples.size()); ++i) {
+    if (samples[static_cast<std::size_t>(i)].kind == pg::DesignKind::kFake) {
+      easy_.push_back(i);
+    } else {
+      hard_.push_back(i);
+    }
+  }
+}
+
+double CurriculumScheduler::hard_fraction(int epoch) const {
+  if (!options_.enabled) return 1.0;
+  if (total_epochs_ <= 1) return 1.0;
+  const double ramp_end = std::max(1.0, options_.full_hard_by * total_epochs_);
+  return std::min(1.0, static_cast<double>(epoch + 1) / ramp_end);
+}
+
+std::vector<int> CurriculumScheduler::epoch_indices(int epoch) {
+  const double frac = hard_fraction(epoch);
+  const int num_hard = static_cast<int>(std::round(frac * hard_.size()));
+
+  std::vector<int> indices;
+  for (int idx : easy_) {
+    for (int r = 0; r < options_.fake_oversample; ++r) indices.push_back(idx);
+  }
+  // The continuous scheduler adjusts the admitted hard subset every epoch;
+  // rotate which hard samples enter first so all of them are seen early.
+  for (int k = 0; k < num_hard; ++k) {
+    const int idx = hard_[static_cast<std::size_t>((k + epoch) % hard_.size())];
+    for (int r = 0; r < options_.real_oversample; ++r) indices.push_back(idx);
+  }
+  rng_.shuffle(indices);
+  return indices;
+}
+
+}  // namespace irf::train

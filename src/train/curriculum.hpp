@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file curriculum.hpp
+/// Predefined curriculum learning (Section III-E, Fig. 5): a predefined
+/// difficulty measurer (fake designs = easy, real designs = hard) and a
+/// continuous training scheduler that grows the hard fraction each epoch.
+/// Oversampling follows the paper's setup: fake x2, real x5.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "train/sample.hpp"
+
+namespace irf::train {
+
+struct CurriculumOptions {
+  bool enabled = true;
+  /// Epoch (fraction of total) by which all hard samples are included.
+  double full_hard_by = 0.5;
+  int fake_oversample = 2;
+  int real_oversample = 5;
+};
+
+/// Produces the sample-index sequence for each epoch.
+class CurriculumScheduler {
+ public:
+  CurriculumScheduler(const std::vector<Sample>& samples, int total_epochs,
+                      CurriculumOptions options, Rng rng);
+
+  /// Shuffled indices (into the sample vector) to visit in `epoch`.
+  std::vector<int> epoch_indices(int epoch);
+
+  /// Fraction of hard samples admitted at `epoch` (for tests/logging).
+  double hard_fraction(int epoch) const;
+
+ private:
+  std::vector<int> easy_;
+  std::vector<int> hard_;
+  int total_epochs_;
+  CurriculumOptions options_;
+  Rng rng_;
+};
+
+}  // namespace irf::train

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file dataset.hpp
+/// Dataset assembly: generate the design families, golden-solve them once,
+/// then materialize feature samples for any rough-iteration budget. The
+/// contest split is mirrored: all fake designs train, half of the real
+/// designs train, the other half is the held-out test set.
+
+#include <memory>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "pg/generator.hpp"
+#include "pg/solve.hpp"
+#include "train/sample.hpp"
+
+namespace irf::train {
+
+/// A generated design with its reusable solver and golden solution.
+struct PreparedDesign {
+  std::unique_ptr<pg::PgDesign> design;
+  std::unique_ptr<pg::PgSolver> solver;
+  pg::PgSolution golden;
+};
+
+struct DesignSet {
+  std::vector<PreparedDesign> train;
+  std::vector<PreparedDesign> test;
+  int image_size = 0;
+};
+
+/// Generate fake+real designs per the scale config and split contest-style.
+DesignSet build_design_set(const ScaleConfig& config);
+
+/// Extract a Sample (hierarchical + flat stacks, label, rough bottom map)
+/// with the rough solution at `rough_iterations` AMG-PCG iterations.
+Sample make_sample(const PreparedDesign& prepared, int rough_iterations, int image_size);
+
+/// Materialize samples for a list of prepared designs.
+std::vector<Sample> make_samples(const std::vector<PreparedDesign>& designs,
+                                 int rough_iterations, int image_size);
+
+/// 4x rotation augmentation (Section III-E): returns the originals plus the
+/// 90/180/270-degree clockwise rotations, treated as new designs.
+std::vector<Sample> augment_rotations(const std::vector<Sample>& samples);
+
+}  // namespace irf::train

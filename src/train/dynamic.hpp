@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file dynamic.hpp
+/// Dynamic-IR extension: apply the IR-Fusion recipe to *transient* worst-
+/// case IR drop (the MAVIREC setting the paper cites). Designs get decap +
+/// switching activity; the golden label becomes the per-pixel worst drop
+/// over a simulated window (backward-Euler on the AMG engine); the input
+/// features stay the static fusion stack, whose rough solution acts as a
+/// lower-bound basis the model amplifies.
+
+#include "pg/transient.hpp"
+#include "train/dataset.hpp"
+
+namespace irf::train {
+
+struct DynamicDatasetConfig {
+  pg::TransientOptions transient;           ///< integration window per design
+  pg::TransientActivityConfig activity;     ///< synthetic switching model
+  int rough_iterations = 3;                 ///< static rough solve budget
+};
+
+/// A design prepared for the dynamic task: transient golden envelope plus
+/// the usual static solver context.
+struct DynamicDesign {
+  std::unique_ptr<pg::PgDesign> design;     ///< includes transient elements
+  std::unique_ptr<pg::PgSolver> solver;     ///< static MNA/AMG context
+  linalg::Vec worst_ir_drop;                ///< transient envelope per node
+};
+
+struct DynamicDesignSet {
+  std::vector<DynamicDesign> train;
+  std::vector<DynamicDesign> test;
+  int image_size = 0;
+};
+
+/// Generate designs (same fake/real split as the static set), attach
+/// transient activity, and integrate each to produce envelope labels.
+DynamicDesignSet build_dynamic_design_set(const ScaleConfig& config,
+                                          const DynamicDatasetConfig& dyn);
+
+/// Materialize a Sample whose label is the transient worst-case map and
+/// whose features/rough basis come from the static fusion stack.
+Sample make_dynamic_sample(const DynamicDesign& prepared, int rough_iterations,
+                           int image_size);
+
+std::vector<Sample> make_dynamic_samples(const std::vector<DynamicDesign>& designs,
+                                         int rough_iterations, int image_size);
+
+}  // namespace irf::train

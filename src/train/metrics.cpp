@@ -1,0 +1,47 @@
+#include "train/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace irf::train {
+
+MapMetrics evaluate_map(const GridF& pred, const GridF& golden, double hotspot_fraction) {
+  if (!pred.same_shape(golden)) throw DimensionError("evaluate_map shape mismatch");
+  MapMetrics m;
+  m.mae = mean_abs_diff(pred, golden);
+  m.mirde = std::abs(static_cast<double>(pred.max_value()) - golden.max_value());
+
+  const float threshold = static_cast<float>(hotspot_fraction) * golden.max_value();
+  std::int64_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    const bool actual = golden.data()[i] >= threshold;
+    const bool predicted = pred.data()[i] >= threshold;
+    if (actual && predicted) ++tp;
+    if (!actual && predicted) ++fp;
+    if (actual && !predicted) ++fn;
+  }
+  m.precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  m.recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+AggregateMetrics aggregate(const std::vector<MapMetrics>& per_design) {
+  AggregateMetrics agg;
+  agg.num_designs = static_cast<int>(per_design.size());
+  if (per_design.empty()) return agg;
+  for (const MapMetrics& m : per_design) {
+    agg.mae += m.mae;
+    agg.f1 += m.f1;
+    agg.mirde += m.mirde;
+  }
+  agg.mae /= agg.num_designs;
+  agg.f1 /= agg.num_designs;
+  agg.mirde /= agg.num_designs;
+  return agg;
+}
+
+}  // namespace irf::train

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Evaluation metrics of Section IV-A: MAE, hotspot F1 (positives = pixels
+/// >= 90% of the per-design golden maximum), and MIRDE (worst-case IR-drop
+/// modelling error). All maps are in volts; reporting converts to 1e-4 V.
+
+#include <vector>
+
+#include "common/grid2d.hpp"
+
+namespace irf::train {
+
+/// Metrics of one predicted map against the golden map (both volts).
+struct MapMetrics {
+  double mae = 0.0;    ///< mean |pred - golden| (volts)
+  double f1 = 0.0;     ///< hotspot F1 at the 0.9*max(golden) threshold
+  double precision = 0.0;
+  double recall = 0.0;
+  double mirde = 0.0;  ///< |max(pred) - max(golden)| (volts)
+};
+
+MapMetrics evaluate_map(const GridF& pred, const GridF& golden,
+                        double hotspot_fraction = 0.9);
+
+/// Mean over designs; runtime is filled by the caller.
+struct AggregateMetrics {
+  double mae = 0.0;
+  double f1 = 0.0;
+  double mirde = 0.0;
+  double runtime_seconds = 0.0;
+  int num_designs = 0;
+
+  /// Contest-style units for the tables (1e-4 V).
+  double mae_1e4() const { return mae * 1e4; }
+  double mirde_1e4() const { return mirde * 1e4; }
+};
+
+AggregateMetrics aggregate(const std::vector<MapMetrics>& per_design);
+
+}  // namespace irf::train

@@ -1,0 +1,95 @@
+#include "train/trainer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/gaussian.hpp"
+#include "common/stopwatch.hpp"
+#include "nn/optimizer.hpp"
+
+namespace irf::train {
+
+namespace {
+/// Label tensor with optional Gaussian smoothing (training only).
+nn::Tensor training_label(const Sample& sample, double blur_sigma) {
+  if (blur_sigma <= 0.0) return Normalizer::label_tensor(sample);
+  GridF blurred = gaussian_blur(sample.label, blur_sigma);
+  std::vector<float> data = blurred.data();
+  for (float& v : data) v *= kLabelScale;
+  return nn::Tensor::from_data(nn::Shape{1, 1, blurred.height(), blurred.width()},
+                               std::move(data));
+}
+}  // namespace
+
+TrainHistory train_model(models::IrModel& model, const std::vector<Sample>& samples,
+                         FeatureView view, const Normalizer& normalizer,
+                         const TrainOptions& options) {
+  if (samples.empty()) throw ConfigError("train_model: empty sample list");
+  if (options.lr_min_ratio <= 0.0 || options.lr_min_ratio > 1.0) {
+    throw ConfigError("lr_min_ratio must be in (0, 1]");
+  }
+  Stopwatch timer;
+  model.set_training(true);
+  nn::Adam optimizer(model.parameters(), options.learning_rate, 0.9, 0.999, 1e-8,
+                     options.weight_decay);
+  CurriculumScheduler scheduler(samples, options.epochs, options.curriculum,
+                                Rng(options.seed));
+
+  TrainHistory history;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (options.lr_min_ratio < 1.0 && options.epochs > 1) {
+      // Cosine decay from learning_rate to learning_rate * lr_min_ratio.
+      const double t = static_cast<double>(epoch) / (options.epochs - 1);
+      const double floor = options.learning_rate * options.lr_min_ratio;
+      optimizer.lr() = floor + 0.5 * (options.learning_rate - floor) *
+                                   (1.0 + std::cos(3.14159265358979323846 * t));
+    }
+    const std::vector<int> order = scheduler.epoch_indices(epoch);
+    double loss_sum = 0.0;
+    for (int idx : order) {
+      const Sample& sample = samples[static_cast<std::size_t>(idx)];
+      nn::Tensor input = normalizer.input_tensor(sample, view);
+      nn::Tensor target = training_label(sample, options.label_blur_sigma);
+      nn::Tensor pred = model.forward(input);
+      nn::Tensor loss = model.loss(pred, target);
+      optimizer.zero_grad();
+      loss.backward();
+      optimizer.clip_grad_norm(options.grad_clip);
+      optimizer.step();
+      loss_sum += loss.scalar();
+    }
+    const double mean_loss = order.empty() ? 0.0 : loss_sum / order.size();
+    history.epoch_loss.push_back(mean_loss);
+    if (options.on_epoch) options.on_epoch(epoch, mean_loss);
+  }
+  history.seconds = timer.seconds();
+  model.set_training(false);
+  return history;
+}
+
+GridF predict_volts(models::IrModel& model, const Sample& sample, FeatureView view,
+                    const Normalizer& normalizer) {
+  model.set_training(false);
+  nn::Tensor input = normalizer.input_tensor(sample, view);
+  nn::Tensor pred = model.forward(input);
+  return Normalizer::prediction_to_volts(pred);
+}
+
+AggregateMetrics evaluate_model(models::IrModel& model, const std::vector<Sample>& samples,
+                                FeatureView view, const Normalizer& normalizer,
+                                double extra_runtime_per_design) {
+  if (samples.empty()) throw ConfigError("evaluate_model: empty sample list");
+  model.set_training(false);
+  std::vector<MapMetrics> per_design;
+  Stopwatch timer;
+  for (const Sample& sample : samples) {
+    GridF pred = predict_volts(model, sample, view, normalizer);
+    per_design.push_back(evaluate_map(pred, sample.label));
+  }
+  AggregateMetrics agg = aggregate(per_design);
+  agg.runtime_seconds =
+      timer.seconds() / static_cast<double>(samples.size()) + extra_runtime_per_design;
+  return agg;
+}
+
+}  // namespace irf::train

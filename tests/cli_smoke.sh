@@ -1,0 +1,37 @@
+#!/bin/sh
+# End-to-end smoke test of the irf_cli tool: generate a tiny dataset, solve
+# one deck, train a 1-epoch pipeline on the generated designs, analyze a
+# deck with the saved model. Registered with ctest (see tests/CMakeLists.txt).
+set -e
+
+CLI="$1"
+WORK="$2"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+echo "== generate =="
+"$CLI" generate --out "$WORK/designs" --fake 2 --real 2 --px 32 --seed 5
+
+DECK=$(find "$WORK/designs" -name netlist.sp | sort | head -1)
+echo "== solve ($DECK) =="
+"$CLI" solve "$DECK" --iters 3 --px 32 --out "$WORK/rough.csv"
+test -s "$WORK/rough.csv"
+
+echo "== train =="
+"$CLI" train --designs "$WORK/designs" --out "$WORK/model.bin" \
+  --epochs 1 --px 32 --iters 2 --seed 5
+test -s "$WORK/model.bin"
+
+echo "== analyze =="
+"$CLI" analyze --model "$WORK/model.bin" "$DECK" --out "$WORK/pred.csv"
+test -s "$WORK/pred.csv"
+
+echo "== error handling =="
+if "$CLI" bogus-subcommand; then echo "unknown subcommand must fail"; exit 1; fi
+if "$CLI" generate; then echo "generate without --out must fail"; exit 1; fi
+if "$CLI" solve /nonexistent.sp; then echo "missing deck must fail"; exit 1; fi
+if "$CLI" analyze --model /nonexistent.bin "$DECK"; then
+  echo "missing model must fail"; exit 1
+fi
+
+echo "CLI_SMOKE_PASS"

@@ -1,0 +1,148 @@
+// Edge-case and environment tests that don't fit a single module file:
+// IRF_SCALE/IRF_SEED parsing, parser oddities, grid resampling properties,
+// and miscellaneous error paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/grid2d.hpp"
+#include "common/rng.hpp"
+#include "features/extractor.hpp"
+#include "pg/generator.hpp"
+#include "pg/solve.hpp"
+#include "spice/parser.hpp"
+
+namespace irf {
+namespace {
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (old_.has_value()) {
+      ::setenv(name_, old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> old_;
+};
+
+TEST(EnvParsing, ScaleCi) {
+  EnvGuard scale("IRF_SCALE", "ci");
+  EXPECT_EQ(resolve_scale_from_env().scale, Scale::kCi);
+}
+
+TEST(EnvParsing, ScalePaperCaseInsensitive) {
+  EnvGuard scale("IRF_SCALE", "PAPER");
+  ScaleConfig c = resolve_scale_from_env();
+  EXPECT_EQ(c.scale, Scale::kPaper);
+  EXPECT_EQ(c.image_size, 256);
+}
+
+TEST(EnvParsing, BadScaleRejected) {
+  EnvGuard scale("IRF_SCALE", "huge");
+  EXPECT_THROW(resolve_scale_from_env(), ConfigError);
+}
+
+TEST(EnvParsing, SeedOverride) {
+  EnvGuard scale("IRF_SCALE", "ci");
+  EnvGuard seed("IRF_SEED", "424242");
+  EXPECT_EQ(resolve_scale_from_env().seed, 424242u);
+}
+
+TEST(EnvParsing, BadSeedRejected) {
+  EnvGuard seed("IRF_SEED", "not-a-number");
+  EXPECT_THROW(resolve_scale_from_env(), ConfigError);
+}
+
+TEST(ParserEdge, CaseInsensitiveElements) {
+  spice::Netlist net = spice::parse_string(
+      "v1 n1_m2_0_0 0 1.1\n"
+      "r1 n1_m2_0_0 n1_m1_0_0 1\n"
+      "i1 n1_m1_0_0 0 1m\n");
+  EXPECT_EQ(net.resistors().size(), 1u);
+  EXPECT_EQ(net.voltage_sources().size(), 1u);
+}
+
+TEST(ParserEdge, PwlWithCommas) {
+  spice::Netlist net = spice::parse_string(
+      "V1 n1_m2_0_0 0 1.1\n"
+      "R1 n1_m2_0_0 n1_m1_0_0 1\n"
+      "I1 n1_m1_0_0 0 PWL(0,0,1n,2m)\n");
+  ASSERT_TRUE(net.current_sources()[0].waveform.has_value());
+  EXPECT_DOUBLE_EQ(net.current_sources()[0].amps_at(1e-9), 2e-3);
+}
+
+TEST(ParserEdge, SemicolonCommentStripped) {
+  spice::Netlist net = spice::parse_string(
+      "V1 n1_m1_0_0 0 1.1 ; pad\n"
+      "R1 n1_m1_0_0 n1_m1_2000_0 1\n"
+      "I1 n1_m1_2000_0 0 1m\n");
+  EXPECT_EQ(net.voltage_sources().size(), 1u);
+}
+
+TEST(ParserEdge, EmptyDeckRejected) {
+  EXPECT_THROW(spice::parse_string(""), ParseError);        // no voltage source
+  EXPECT_THROW(spice::parse_string("* nothing\n"), ParseError);
+}
+
+TEST(GridResample, DownUpRoundTripApproximates) {
+  Rng rng(3);
+  GridF g(16, 16);
+  // Smooth field so resampling round trip is nearly lossless.
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x)
+      g(y, x) = static_cast<float>(std::sin(0.3 * x) + std::cos(0.25 * y));
+  GridF round = g.resized(32, 32).resized(16, 16);
+  EXPECT_LT(mean_abs_diff(g, round), 0.05);
+}
+
+TEST(GridResample, RejectsNonPositiveTarget) {
+  GridF g(4, 4);
+  EXPECT_THROW(g.resized(0, 4), DimensionError);
+}
+
+TEST(FeatureEdge, BottomLayerMapValidatesSize) {
+  Rng rng(4);
+  pg::PgDesign d = pg::generate_fake_design(24, rng, "edge");
+  linalg::Vec wrong(3, 0.0);
+  EXPECT_THROW(features::bottom_layer_map(d, wrong, 24), DimensionError);
+}
+
+TEST(FeatureEdge, BottomLayerMapMatchesLabelMap) {
+  Rng rng(5);
+  pg::PgDesign d = pg::generate_fake_design(24, rng, "edge2");
+  pg::PgSolution sol = pg::golden_solve(d);
+  GridF a = features::label_map(d, sol, 24);
+  GridF b = features::bottom_layer_map(d, sol.ir_drop, 24);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(GeneratorEdge, DistinctSeedsDistinctDesigns) {
+  Rng a(1), b(2);
+  pg::PgDesign d1 = pg::generate_fake_design(24, a, "a");
+  pg::PgDesign d2 = pg::generate_fake_design(24, b, "b");
+  bool any_different = d1.netlist.resistors().size() != d2.netlist.resistors().size();
+  if (!any_different) {
+    for (std::size_t i = 0; i < d1.netlist.current_sources().size(); ++i) {
+      if (d1.netlist.current_sources()[i].amps != d2.netlist.current_sources()[i].amps) {
+        any_different = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace irf

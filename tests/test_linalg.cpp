@@ -1,0 +1,203 @@
+// Unit tests for irf::linalg: vectors, COO/CSR, dense Cholesky, smoothers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/coo.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/smoothers.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace irf::linalg {
+namespace {
+
+/// 1-D Laplacian with Dirichlet ends: tridiag(-1, 2, -1), SPD.
+CsrMatrix laplacian_1d(int n) {
+  TripletBuilder b(n, n);
+  for (int i = 0; i < n; ++i) {
+    b.add(i, i, 2.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < n) b.add(i, i + 1, -1.0);
+  }
+  return CsrMatrix::from_triplets(b);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  Vec a{1.0, 2.0, 3.0};
+  Vec b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm2(Vec{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(b), 6.0);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  Vec a{1.0};
+  Vec b{1.0, 2.0};
+  EXPECT_THROW(dot(a, b), DimensionError);
+  EXPECT_THROW(axpy(1.0, a, b), DimensionError);
+}
+
+TEST(VectorOps, AxpyXpby) {
+  Vec x{1.0, 2.0};
+  Vec y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  xpby(x, 0.5, y);  // y = x + 0.5 y
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 14.0);
+}
+
+TEST(VectorOps, NonFiniteDetection) {
+  EXPECT_FALSE(has_non_finite(Vec{1.0, -2.0}));
+  EXPECT_TRUE(has_non_finite(Vec{1.0, std::nan("")}));
+  EXPECT_TRUE(has_non_finite(Vec{1.0, INFINITY}));
+}
+
+TEST(TripletBuilder, RejectsOutOfRange) {
+  TripletBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), DimensionError);
+  EXPECT_THROW(b.add(0, -1, 1.0), DimensionError);
+}
+
+TEST(CsrMatrix, DuplicatesAccumulate) {
+  TripletBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 0, -1.0);
+  CsrMatrix m = CsrMatrix::from_triplets(b);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+  EXPECT_EQ(m.nnz(), 2u);
+}
+
+TEST(CsrMatrix, SpMvMatchesDense) {
+  Rng rng(3);
+  const int n = 12;
+  TripletBuilder b(n, n);
+  for (int k = 0; k < 50; ++k) {
+    b.add(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1), rng.normal());
+  }
+  CsrMatrix sparse = CsrMatrix::from_triplets(b);
+  DenseMatrix dense = DenseMatrix::from_csr(sparse);
+  Vec x(n);
+  for (double& v : x) v = rng.normal();
+  Vec ys = sparse.multiply(x);
+  Vec yd = dense.multiply(x);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(CsrMatrix, StampConductanceSymmetric) {
+  TripletBuilder b(3, 3);
+  b.stamp_conductance(0, 1, 2.0);
+  b.stamp_conductance(1, 2, 3.0);
+  b.stamp_grounded_conductance(0, 1.0);
+  CsrMatrix m = CsrMatrix::from_triplets(b);
+  EXPECT_TRUE(m.is_symmetric());
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+  EXPECT_TRUE(m.is_diagonally_dominant());
+}
+
+TEST(CsrMatrix, RowSumsOfLaplacianInterior) {
+  CsrMatrix m = laplacian_1d(5);
+  Vec s = m.row_sums();
+  // Interior rows sum to 0; boundary rows to +1 (Dirichlet).
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[4], 1.0);
+}
+
+TEST(CsrMatrix, TransposeInvolution) {
+  Rng rng(4);
+  TripletBuilder b(5, 7);
+  for (int k = 0; k < 15; ++k) {
+    b.add(rng.uniform_int(0, 4), rng.uniform_int(0, 6), rng.normal());
+  }
+  CsrMatrix m = CsrMatrix::from_triplets(b);
+  CsrMatrix mtt = m.transposed().transposed();
+  ASSERT_EQ(m.rows(), mtt.rows());
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) EXPECT_NEAR(m.at(r, c), mtt.at(r, c), 1e-15);
+  }
+}
+
+TEST(CsrMatrix, IdentityMultiply) {
+  CsrMatrix eye = CsrMatrix::identity(4);
+  Vec x{1.0, 2.0, 3.0, 4.0};
+  Vec y = eye.multiply(x);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  CsrMatrix a = laplacian_1d(10);
+  CholeskyFactor chol(DenseMatrix::from_csr(a));
+  Rng rng(8);
+  Vec x_true(10);
+  for (double& v : x_true) v = rng.normal();
+  Vec b = a.multiply(x_true);
+  Vec x = chol.solve(b);
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  DenseMatrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(1, 1) = -1.0;
+  EXPECT_THROW(CholeskyFactor{m}, NumericError);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  DenseMatrix m(2, 3);
+  EXPECT_THROW(CholeskyFactor{m}, DimensionError);
+}
+
+TEST(Smoothers, JacobiReducesResidual) {
+  CsrMatrix a = laplacian_1d(20);
+  Vec b(20, 1.0);
+  Vec x(20, 0.0);
+  double r0 = norm2(subtract(b, a.multiply(x)));
+  for (int s = 0; s < 10; ++s) jacobi_sweep(a, b, x);
+  double r1 = norm2(subtract(b, a.multiply(x)));
+  EXPECT_LT(r1, r0);
+}
+
+TEST(Smoothers, GaussSeidelConvergesOnSmallSystem) {
+  CsrMatrix a = laplacian_1d(8);
+  CholeskyFactor chol(DenseMatrix::from_csr(a));
+  Vec b(8, 1.0);
+  Vec x_exact = chol.solve(b);
+  Vec x(8, 0.0);
+  for (int s = 0; s < 300; ++s) gauss_seidel_forward(a, b, x);
+  for (int i = 0; i < 8; ++i) EXPECT_NEAR(x[i], x_exact[i], 1e-8);
+}
+
+TEST(Smoothers, SymmetricGsBeatsSingleSweep) {
+  CsrMatrix a = laplacian_1d(30);
+  Vec b(30, 1.0);
+  Vec x1(30, 0.0), x2(30, 0.0);
+  gauss_seidel_forward(a, b, x1);
+  symmetric_gauss_seidel(a, b, x2);
+  double r1 = norm2(subtract(b, a.multiply(x1)));
+  double r2 = norm2(subtract(b, a.multiply(x2)));
+  EXPECT_LT(r2, r1);
+}
+
+TEST(Smoothers, ZeroDiagonalThrows) {
+  TripletBuilder builder(2, 2);
+  builder.add(0, 1, 1.0);
+  builder.add(1, 0, 1.0);
+  builder.add(1, 1, 1.0);
+  CsrMatrix a = CsrMatrix::from_triplets(builder);
+  Vec b(2, 1.0), x(2, 0.0);
+  EXPECT_THROW(gauss_seidel_forward(a, b, x), NumericError);
+}
+
+}  // namespace
+}  // namespace irf::linalg

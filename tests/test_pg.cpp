@@ -1,0 +1,183 @@
+// Tests for irf::pg: MNA assembly correctness (vs hand-solved circuits and
+// dense Cholesky), generator invariants for both design families, and the
+// end-to-end PG solve.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/dense.hpp"
+#include "pg/generator.hpp"
+#include "pg/mna.hpp"
+#include "pg/solve.hpp"
+#include "spice/parser.hpp"
+
+namespace irf::pg {
+namespace {
+
+/// Pad -- 1 ohm -- node A -- 1 ohm -- node B, 1 mA drawn at B.
+/// By hand: V(B) = 1.1 - 2e-3, V(A) = 1.1 - 1e-3.
+constexpr const char* kVoltageDivider = R"(
+V1 n1_m2_0_0 0 1.1
+R1 n1_m2_0_0 n1_m1_0_0 1
+R2 n1_m1_0_0 n1_m1_2000_0 1
+I1 n1_m1_2000_0 0 1m
+)";
+
+TEST(Mna, HandSolvedLadder) {
+  spice::Netlist net = spice::parse_string(kVoltageDivider);
+  MnaSystem sys = assemble_mna(net);
+  EXPECT_EQ(sys.conductance.rows(), 2);  // pad eliminated
+  EXPECT_TRUE(sys.conductance.is_symmetric());
+
+  linalg::CholeskyFactor chol(linalg::DenseMatrix::from_csr(sys.conductance));
+  linalg::Vec x = chol.solve(sys.rhs);
+  linalg::Vec v = expand_to_node_voltages(sys, net, x);
+
+  const spice::NodeId a = *net.find_node("n1_m1_0_0");
+  const spice::NodeId b = *net.find_node("n1_m1_2000_0");
+  const spice::NodeId pad = *net.find_node("n1_m2_0_0");
+  EXPECT_NEAR(v[pad], 1.1, 1e-12);
+  EXPECT_NEAR(v[a], 1.1 - 1e-3, 1e-9);
+  EXPECT_NEAR(v[b], 1.1 - 2e-3, 1e-9);
+}
+
+TEST(Mna, SingularWithoutPadPathThrows) {
+  spice::Netlist net = spice::parse_string(
+      "V1 n1_m1_0_0 0 1.1\n"
+      "R1 n1_m1_0_0 n1_m1_2000_0 1\n"
+      "R2 n1_m1_8000_0 n1_m1_10000_0 1\n");
+  EXPECT_THROW(assemble_mna(net), NumericError);
+}
+
+TEST(Mna, CurrentConservation) {
+  // Sum of pad output currents equals total load current.
+  Rng rng(11);
+  PgDesign design = generate_fake_design(32, rng, "cc");
+  PgSolution sol = golden_solve(design);
+  spice::CircuitTopology topo(design.netlist);
+  double total_load = 0.0;
+  for (double i : topo.load_current()) total_load += i;
+  double pad_current = 0.0;
+  for (spice::NodeId pad : topo.pad_nodes()) {
+    for (const spice::Wire& w : topo.wires_of(pad)) {
+      if (w.other == spice::kGround) continue;
+      pad_current += (sol.node_voltage[pad] - sol.node_voltage[w.other]) * w.conductance;
+    }
+  }
+  EXPECT_NEAR(pad_current, total_load, 1e-6 * std::max(1.0, total_load));
+}
+
+TEST(Generator, FakeDesignBasicInvariants) {
+  Rng rng(1);
+  PgDesign d = generate_fake_design(32, rng, "fake_t");
+  EXPECT_EQ(d.kind, DesignKind::kFake);
+  DesignStats s = compute_stats(d);
+  EXPECT_GT(s.num_nodes, 100);
+  EXPECT_GT(s.num_resistors, s.num_nodes / 2);
+  EXPECT_GT(s.num_current_sources, 10);
+  EXPECT_EQ(s.num_pads, 9);  // 3x3 pad array
+  ASSERT_EQ(s.layers.size(), 4u);
+  EXPECT_EQ(s.layers.front(), 1);
+  EXPECT_EQ(s.layers.back(), 9);
+  EXPECT_GT(s.total_current, 0.0);
+}
+
+TEST(Generator, RealDesignIsHarder) {
+  Rng rng(2);
+  PgDesign d = generate_real_design(32, rng, "real_t");
+  EXPECT_EQ(d.kind, DesignKind::kReal);
+  DesignStats s = compute_stats(d);
+  // Perimeter pads: fewer than the fake 3x3 array is not guaranteed, but
+  // they must exist and the netlist must be solvable.
+  EXPECT_GE(s.num_pads, 1);
+  EXPECT_NO_THROW(golden_solve(d));
+}
+
+TEST(Generator, TargetWorstIrDropIsHit) {
+  Rng rng(3);
+  GeneratorConfig cfg = fake_design_config(32);
+  cfg.target_worst_ir_volts = 5e-3;
+  PgDesign d = generate_design(cfg, rng, "target", DesignKind::kFake);
+  PgSolution sol = golden_solve(d);
+  double worst = 0.0;
+  for (double v : sol.ir_drop) worst = std::max(worst, v);
+  EXPECT_NEAR(worst, 5e-3, 1e-6);
+}
+
+TEST(Generator, IrDropNonNegativeEverywhere) {
+  Rng rng(4);
+  PgDesign d = generate_fake_design(32, rng, "nn");
+  PgSolution sol = golden_solve(d);
+  for (double v : sol.ir_drop) {
+    EXPECT_GE(v, -1e-9);
+    EXPECT_LT(v, d.vdd);
+  }
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  Rng a(77), b(77);
+  PgDesign d1 = generate_fake_design(32, a, "d");
+  PgDesign d2 = generate_fake_design(32, b, "d");
+  EXPECT_EQ(d1.netlist.num_nodes(), d2.netlist.num_nodes());
+  ASSERT_EQ(d1.netlist.resistors().size(), d2.netlist.resistors().size());
+  for (std::size_t i = 0; i < d1.netlist.resistors().size(); ++i) {
+    EXPECT_DOUBLE_EQ(d1.netlist.resistors()[i].ohms, d2.netlist.resistors()[i].ohms);
+  }
+}
+
+TEST(Generator, ConfigValidation) {
+  Rng rng(5);
+  GeneratorConfig cfg = fake_design_config(32);
+  cfg.layers[1].horizontal = cfg.layers[0].horizontal;  // no alternation
+  EXPECT_THROW(generate_design(cfg, rng, "bad", DesignKind::kFake), ConfigError);
+
+  cfg = fake_design_config(32);
+  cfg.layers[2].stride_units = 3;  // not a multiple of layer 1 stride (2)
+  EXPECT_THROW(generate_design(cfg, rng, "bad", DesignKind::kFake), ConfigError);
+
+  EXPECT_THROW(fake_design_config(8), ConfigError);
+}
+
+TEST(PgSolver, RoughConvergesTowardGolden) {
+  Rng rng(6);
+  PgDesign d = generate_fake_design(32, rng, "conv");
+  PgSolver solver(d);
+  PgSolution golden = solver.solve_golden();
+  double prev = 1e300;
+  for (int k : {1, 3, 6}) {
+    PgSolution rough = solver.solve_rough(k);
+    double err = 0.0;
+    for (std::size_t i = 0; i < golden.ir_drop.size(); ++i) {
+      err = std::max(err, std::abs(rough.ir_drop[i] - golden.ir_drop[i]));
+    }
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-4);  // 6 AMG-PCG iterations get close on this size
+}
+
+TEST(PgSolver, GoldenResidualTiny) {
+  Rng rng(7);
+  PgDesign d = generate_real_design(32, rng, "resid");
+  PgSolver solver(d);
+  PgSolution sol = solver.solve_golden(1e-10);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_LT(sol.final_relative_residual, 1e-9);
+}
+
+TEST(PgSolver, PadVoltagesExact) {
+  Rng rng(8);
+  PgDesign d = generate_fake_design(32, rng, "pads");
+  PgSolution sol = golden_solve(d);
+  spice::CircuitTopology topo(d.netlist);
+  for (spice::NodeId pad : topo.pad_nodes()) {
+    EXPECT_DOUBLE_EQ(sol.node_voltage[pad], d.vdd);
+    EXPECT_DOUBLE_EQ(sol.ir_drop[pad], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace irf::pg

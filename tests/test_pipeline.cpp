@@ -1,0 +1,176 @@
+// Tests for the IrFusionPipeline facade — config validation, view mapping,
+// fit/analyze/evaluate lifecycle, and the core fusion claim at tiny scale:
+// refinement must not destroy the rough solution's accuracy, and the
+// numerical head start must show up in the features.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/pipeline.hpp"
+#include "features/extractor.hpp"
+#include "train/metrics.hpp"
+
+namespace irf::core {
+namespace {
+
+ScaleConfig tiny_config() {
+  ScaleConfig cfg = make_scale_config(Scale::kCi);
+  cfg.image_size = 32;
+  cfg.num_fake_designs = 3;
+  cfg.num_real_designs = 2;
+  cfg.epochs = 3;
+  cfg.base_channels = 4;
+  cfg.seed = 123;
+  return cfg;
+}
+
+PipelineConfig tiny_pipeline_config() {
+  PipelineConfig pc;
+  pc.image_size = 32;
+  pc.rough_iterations = 3;
+  pc.base_channels = 4;
+  pc.epochs = 3;
+  pc.seed = 5;
+  return pc;
+}
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_ = new train::DesignSet(build_designs()); }
+  static void TearDownTestSuite() {
+    delete set_;
+    set_ = nullptr;
+  }
+  static train::DesignSet build_designs() { return train::build_design_set(tiny_config()); }
+  static train::DesignSet* set_;
+};
+
+train::DesignSet* PipelineFixture::set_ = nullptr;
+
+TEST(PipelineConfigValidation, RejectsBadGeometry) {
+  PipelineConfig pc = tiny_pipeline_config();
+  pc.image_size = 30;  // not divisible by 16
+  EXPECT_THROW(IrFusionPipeline{pc}, ConfigError);
+  pc = tiny_pipeline_config();
+  pc.rough_iterations = 0;
+  EXPECT_THROW(IrFusionPipeline{pc}, ConfigError);
+}
+
+TEST(PipelineViews, AblationFlagsMapToViews) {
+  PipelineConfig pc = tiny_pipeline_config();
+  EXPECT_EQ(IrFusionPipeline(pc).view(), train::FeatureView::kFusionHier);
+  pc.use_numerical = false;
+  EXPECT_EQ(IrFusionPipeline(pc).view(), train::FeatureView::kFusionNoNum);
+  pc.use_hierarchical = false;
+  EXPECT_EQ(IrFusionPipeline(pc).view(), train::FeatureView::kStructuralFlat);
+  pc.use_numerical = true;
+  EXPECT_EQ(IrFusionPipeline(pc).view(), train::FeatureView::kFusionFlat);
+}
+
+TEST(PipelineLifecycle, UnfittedCallsThrow) {
+  IrFusionPipeline pipeline(tiny_pipeline_config());
+  EXPECT_FALSE(pipeline.is_fitted());
+  Rng rng(1);
+  pg::PgDesign d = pg::generate_fake_design(32, rng, "x");
+  EXPECT_THROW(pipeline.analyze(d), ConfigError);
+}
+
+TEST_F(PipelineFixture, FitEvaluateAnalyze) {
+  IrFusionPipeline pipeline(tiny_pipeline_config());
+  train::TrainHistory hist = pipeline.fit(set_->train);
+  EXPECT_TRUE(pipeline.is_fitted());
+  EXPECT_EQ(hist.epoch_loss.size(), 3u);
+  EXPECT_LT(hist.epoch_loss.back(), hist.epoch_loss.front());
+
+  train::AggregateMetrics m = pipeline.evaluate(set_->test);
+  EXPECT_TRUE(std::isfinite(m.mae));
+  EXPECT_GT(m.runtime_seconds, 0.0);
+
+  // analyze() must agree with the evaluate path on the same design.
+  GridF map = pipeline.analyze(*set_->test.front().design);
+  EXPECT_EQ(map.height(), 32);
+  EXPECT_GT(map.max_value(), 0.0f);
+  for (float v : map.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_F(PipelineFixture, FusionBeatsNoNumericalAblationAtTinyScale) {
+  // The central claim of the paper in miniature: with the numerical rough
+  // solution among the inputs, the refined prediction tracks the golden map
+  // much more closely than the same model without it.
+  PipelineConfig with_num = tiny_pipeline_config();
+  IrFusionPipeline fusion(with_num);
+  fusion.fit(set_->train);
+  const train::AggregateMetrics m_fusion = fusion.evaluate(set_->test);
+
+  PipelineConfig without = tiny_pipeline_config();
+  without.use_numerical = false;
+  IrFusionPipeline no_num(without);
+  no_num.fit(set_->train);
+  const train::AggregateMetrics m_no_num = no_num.evaluate(set_->test);
+
+  EXPECT_LT(m_fusion.mae, m_no_num.mae);
+}
+
+TEST_F(PipelineFixture, MoreRoughIterationsDoNotHurtFeatures) {
+  // The numerical feature itself improves monotonically; checked on the
+  // rough bottom map that feeds the model.
+  const train::PreparedDesign& d = set_->test.front();
+  train::Sample s1 = train::make_sample(d, 1, 32);
+  train::Sample s8 = train::make_sample(d, 8, 32);
+  EXPECT_LT(mean_abs_diff(s8.rough_bottom, s8.label),
+            mean_abs_diff(s1.rough_bottom, s1.label));
+}
+
+TEST_F(PipelineFixture, DiagnosticsDecomposePrediction) {
+  IrFusionPipeline pipeline(tiny_pipeline_config());
+  pipeline.fit(set_->train);
+  const pg::PgDesign& design = *set_->test.front().design;
+  auto diag = pipeline.analyze_with_diagnostics(design);
+  EXPECT_EQ(diag.rough_iterations, 3);
+  EXPECT_GT(diag.solve_seconds, 0.0);
+  EXPECT_GT(diag.inference_seconds, 0.0);
+  ASSERT_TRUE(diag.prediction.same_shape(diag.rough));
+  // correction + rough == prediction, exactly.
+  for (std::size_t i = 0; i < diag.prediction.size(); ++i) {
+    EXPECT_FLOAT_EQ(diag.rough.data()[i] + diag.correction.data()[i],
+                    diag.prediction.data()[i]);
+  }
+  // And analyze() returns the same prediction.
+  GridF direct = pipeline.analyze(design);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_FLOAT_EQ(direct.data()[i], diag.prediction.data()[i]);
+  }
+}
+
+TEST_F(PipelineFixture, TiledAnalysisOfLargerDesign) {
+  IrFusionPipeline pipeline(tiny_pipeline_config());
+  pipeline.fit(set_->train);
+
+  // A design twice the training resolution, analyzed by tiling.
+  Rng rng(404);
+  pg::PgDesign big = pg::generate_real_design(64, rng, "big");
+  GridF tiled = pipeline.analyze_tiled(big, 64);
+  EXPECT_EQ(tiled.height(), 64);
+
+  // Accuracy: close to the golden map (residual basis keeps tiling honest).
+  pg::PgSolution golden = pg::golden_solve(big);
+  GridF golden_map = features::label_map(big, golden, 64);
+  train::MapMetrics m = train::evaluate_map(tiled, golden_map);
+  EXPECT_LT(m.mae, 0.2 * golden_map.max_value());
+  for (float v : tiled.data()) EXPECT_TRUE(std::isfinite(v));
+
+  // Validation.
+  EXPECT_THROW(pipeline.analyze_tiled(big, 16), ConfigError);
+  EXPECT_THROW(pipeline.analyze_tiled(big, 50), ConfigError);
+  EXPECT_THROW(pipeline.analyze_tiled(big, 64, 32), ConfigError);
+}
+
+TEST_F(PipelineFixture, EvaluateRejectsEmpty) {
+  IrFusionPipeline pipeline(tiny_pipeline_config());
+  EXPECT_THROW(pipeline.fit({}), ConfigError);
+}
+
+}  // namespace
+}  // namespace irf::core

@@ -1,0 +1,50 @@
+// Tests for the feature-stack visualization dump.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "features/visualize.hpp"
+#include "pg/generator.hpp"
+#include "pg/solve.hpp"
+
+namespace irf::features {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Visualize, WritesEveryChannel) {
+  Rng rng(61);
+  pg::PgDesign design = pg::generate_fake_design(24, rng, "viz");
+  pg::PgSolver solver(design);
+  pg::PgSolution rough = solver.solve_rough(2);
+  FeatureOptions opts;
+  opts.image_size = 24;
+  FeatureStack stack = extract_features(design, &rough, opts);
+
+  const fs::path dir = fs::temp_directory_path() / "irf_viz_test";
+  fs::remove_all(dir);
+  std::vector<std::string> written = write_feature_stack(stack, dir.string());
+  EXPECT_EQ(written.size(), 2u * static_cast<std::size_t>(stack.size()));
+  for (const std::string& f : written) {
+    EXPECT_TRUE(fs::exists(f)) << f;
+    EXPECT_GT(fs::file_size(f), 0u) << f;
+  }
+  // Filenames embed the channel names for discoverability.
+  EXPECT_NE(written.front().find("num_ir"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(Visualize, EmptyDirectoryCreated) {
+  FeatureStack empty;
+  const fs::path dir = fs::temp_directory_path() / "irf_viz_empty";
+  fs::remove_all(dir);
+  std::vector<std::string> written = write_feature_stack(empty, dir.string());
+  EXPECT_TRUE(written.empty());
+  EXPECT_TRUE(fs::is_directory(dir));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace irf::features

@@ -1,0 +1,239 @@
+// irf_cli — command-line front end for the IR-Fusion library.
+//
+//   irf_cli generate --out DIR [--fake N] [--real M] [--px P] [--seed S]
+//       Generate a synthetic design set, golden-solve it, and export it in
+//       the ICCAD-2023 layout (netlist.sp + image CSVs per design).
+//
+//   irf_cli solve NETLIST.sp [--iters K] [--px P] [--out MAP.csv]
+//       Parse a SPICE PG deck and solve it with AMG-PCG. Without --iters the
+//       solve runs to 1e-10 (golden); with --iters it runs exactly K rough
+//       iterations. Optionally writes the bottom-layer IR map as CSV.
+//
+//   irf_cli train --designs DIR --out MODEL.bin [--epochs E] [--px P]
+//                 [--iters K] [--seed S]
+//       Load every <DIR>/*/netlist.sp (directory names starting with "real"
+//       are treated as hard designs; any design named real_<i> with odd i is
+//       held out for validation), fit the IR-Fusion pipeline and save it.
+//
+//   irf_cli analyze --model MODEL.bin NETLIST.sp [--out MAP.csv]
+//       Restore a trained pipeline and run end-to-end analysis on a deck.
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/image_io.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "features/extractor.hpp"
+#include "pg/generator.hpp"
+#include "pg/solve.hpp"
+#include "spice/parser.hpp"
+#include "train/iccad_io.hpp"
+
+namespace {
+
+using namespace irf;
+namespace fs = std::filesystem;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  std::string flag(const std::string& name, const std::string& fallback = "") const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int flag_int(const std::string& name, int fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::stoi(it->second);
+  }
+  bool has(const std::string& name) const { return flags.count(name) > 0; }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      std::string key = a.substr(2);
+      if (i + 1 >= argc) throw ConfigError("flag --" + key + " needs a value");
+      args.flags[key] = argv[++i];
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+/// Build a PgDesign from a parsed deck, inferring extents from coordinates.
+pg::PgDesign design_from_deck(const std::string& path, pg::DesignKind kind) {
+  pg::PgDesign design;
+  design.name = fs::path(path).parent_path().filename().string();
+  if (design.name.empty()) design.name = fs::path(path).stem().string();
+  design.kind = kind;
+  design.netlist = spice::parse_file(path);
+  design.vdd = design.netlist.voltage_sources().front().volts;
+  std::int64_t w = 0, h = 0;
+  for (spice::NodeId id = 0; id < design.netlist.num_nodes(); ++id) {
+    if (const auto& c = design.netlist.node_coords(id)) {
+      w = std::max(w, c->x_nm);
+      h = std::max(h, c->y_nm);
+    }
+  }
+  if (w == 0 || h == 0) {
+    throw ParseError("deck " + path + " has no coordinate-named nodes");
+  }
+  design.width_nm = w;
+  design.height_nm = h;
+  return design;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string out = args.flag("out");
+  if (out.empty()) throw ConfigError("generate: --out DIR is required");
+  ScaleConfig cfg = make_scale_config(Scale::kCi);
+  cfg.num_fake_designs = args.flag_int("fake", cfg.num_fake_designs);
+  cfg.num_real_designs = args.flag_int("real", cfg.num_real_designs);
+  cfg.image_size = args.flag_int("px", cfg.image_size);
+  cfg.seed = static_cast<std::uint64_t>(args.flag_int("seed", 1));
+  std::cout << "generating " << cfg.num_fake_designs << " fake + "
+            << cfg.num_real_designs << " real designs at " << cfg.image_size
+            << " px...\n";
+  train::DesignSet set = train::build_design_set(cfg);
+  std::vector<std::string> dirs = train::export_design_set(set, out);
+  std::cout << "wrote " << dirs.size() << " design directories under " << out << "\n";
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  if (args.positional.empty()) throw ConfigError("solve: need a netlist path");
+  pg::PgDesign design = design_from_deck(args.positional[0], pg::DesignKind::kReal);
+  pg::PgSolver solver(design);
+  const int iters = args.flag_int("iters", 0);
+  pg::PgSolution sol = iters > 0 ? solver.solve_rough(iters) : solver.solve_golden();
+  double worst = 0.0;
+  for (double v : sol.ir_drop) worst = std::max(worst, v);
+  std::cout << design.netlist.num_nodes() << " nodes | "
+            << (iters > 0 ? "rough " + std::to_string(iters) + "-iteration"
+                          : "golden (" + std::to_string(sol.iterations) + " iterations)")
+            << " solve | worst IR drop " << worst * 1e3 << " mV\n";
+  const std::string out = args.flag("out");
+  if (!out.empty()) {
+    const int px = args.flag_int("px", 64);
+    write_csv(features::label_map(design, sol, px), out);
+    std::cout << "bottom-layer IR map (" << px << "x" << px << ") written to " << out
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const std::string dir = args.flag("designs");
+  const std::string out = args.flag("out");
+  if (dir.empty() || out.empty()) {
+    throw ConfigError("train: --designs DIR and --out MODEL.bin are required");
+  }
+  const int px = args.flag_int("px", 32);
+
+  std::vector<std::string> deck_dirs;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_directory() && fs::exists(entry.path() / "netlist.sp")) {
+      deck_dirs.push_back(entry.path().string());
+    }
+  }
+  std::sort(deck_dirs.begin(), deck_dirs.end());
+  if (deck_dirs.empty()) throw ConfigError("train: no */netlist.sp under " + dir);
+
+  std::vector<train::PreparedDesign> train_designs;
+  std::vector<train::PreparedDesign> held_out;
+  int real_index = 0;
+  for (const std::string& d : deck_dirs) {
+    const std::string name = fs::path(d).filename().string();
+    const bool is_real = name.rfind("real", 0) == 0;
+    train::PreparedDesign p;
+    p.design = std::make_unique<pg::PgDesign>(design_from_deck(
+        (fs::path(d) / "netlist.sp").string(),
+        is_real ? pg::DesignKind::kReal : pg::DesignKind::kFake));
+    p.solver = std::make_unique<pg::PgSolver>(*p.design);
+    p.golden = p.solver->solve_golden();
+    if (is_real && (real_index++ % 2 == 1)) {
+      held_out.push_back(std::move(p));
+    } else {
+      train_designs.push_back(std::move(p));
+    }
+  }
+  std::cout << "loaded " << train_designs.size() << " training designs, "
+            << held_out.size() << " held out\n";
+
+  core::PipelineConfig pc;
+  pc.image_size = px;
+  pc.epochs = args.flag_int("epochs", 5);
+  pc.rough_iterations = args.flag_int("iters", 3);
+  pc.seed = static_cast<std::uint64_t>(args.flag_int("seed", 7));
+  core::IrFusionPipeline pipeline(pc);
+  train::TrainHistory hist = pipeline.fit(train_designs);
+  std::cout << "trained " << hist.epoch_loss.size() << " epochs in " << hist.seconds
+            << " s\n";
+  if (!held_out.empty()) {
+    train::AggregateMetrics m = pipeline.evaluate(held_out);
+    std::cout << "held-out: MAE " << m.mae_1e4() << " x1e-4 V, F1 " << m.f1
+              << ", MIRDE " << m.mirde_1e4() << " x1e-4 V\n";
+  }
+  pipeline.save(out);
+  std::cout << "pipeline saved to " << out << "\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const std::string model = args.flag("model");
+  if (model.empty() || args.positional.empty()) {
+    throw ConfigError("analyze: --model MODEL.bin and a netlist path are required");
+  }
+  core::IrFusionPipeline pipeline = core::IrFusionPipeline::load(model);
+  pg::PgDesign design = design_from_deck(args.positional[0], pg::DesignKind::kReal);
+  GridF map = pipeline.analyze(design);
+  std::cout << "predicted worst IR drop: " << map.max_value() * 1e3 << " mV\n";
+  const std::string out = args.flag("out");
+  if (!out.empty()) {
+    write_csv(map, out);
+    std::cout << "IR map written to " << out << "\n";
+  }
+  return 0;
+}
+
+void usage() {
+  std::cout << "usage: irf_cli <generate|solve|train|analyze> [options]\n"
+            << "  generate --out DIR [--fake N] [--real M] [--px P] [--seed S]\n"
+            << "  solve NETLIST.sp [--iters K] [--px P] [--out MAP.csv]\n"
+            << "  train --designs DIR --out MODEL.bin [--epochs E] [--px P]"
+               " [--iters K] [--seed S]\n"
+            << "  analyze --model MODEL.bin NETLIST.sp [--out MAP.csv]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::cout.setf(std::ios::unitbuf);
+    if (argc < 2) {
+      usage();
+      return 2;
+    }
+    const std::string command = argv[1];
+    const Args args = parse_args(argc, argv, 2);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "solve") return cmd_solve(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "analyze") return cmd_analyze(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "irf_cli: " << e.what() << "\n";
+    return 1;
+  }
+}
