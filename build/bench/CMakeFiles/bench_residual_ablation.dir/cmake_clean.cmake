@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_residual_ablation.dir/bench_residual_ablation.cpp.o"
+  "CMakeFiles/bench_residual_ablation.dir/bench_residual_ablation.cpp.o.d"
+  "bench_residual_ablation"
+  "bench_residual_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_residual_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

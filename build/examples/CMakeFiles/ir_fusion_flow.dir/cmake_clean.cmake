@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_fusion_flow.dir/ir_fusion_flow.cpp.o"
+  "CMakeFiles/ir_fusion_flow.dir/ir_fusion_flow.cpp.o.d"
+  "ir_fusion_flow"
+  "ir_fusion_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_fusion_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

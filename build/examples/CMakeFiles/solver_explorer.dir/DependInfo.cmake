@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/solver_explorer.cpp" "examples/CMakeFiles/solver_explorer.dir/solver_explorer.cpp.o" "gcc" "examples/CMakeFiles/solver_explorer.dir/solver_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/irf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/irf_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/irf_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/pg/CMakeFiles/irf_pg.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/irf_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/irf_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/irf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/irf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/irf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/irf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_explorer.dir/solver_explorer.cpp.o"
+  "CMakeFiles/solver_explorer.dir/solver_explorer.cpp.o.d"
+  "solver_explorer"
+  "solver_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

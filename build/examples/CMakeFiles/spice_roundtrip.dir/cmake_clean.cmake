@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_roundtrip.dir/spice_roundtrip.cpp.o"
+  "CMakeFiles/spice_roundtrip.dir/spice_roundtrip.cpp.o.d"
+  "spice_roundtrip"
+  "spice_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

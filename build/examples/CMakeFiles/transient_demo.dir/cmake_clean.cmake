@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_demo.dir/transient_demo.cpp.o"
+  "CMakeFiles/transient_demo.dir/transient_demo.cpp.o.d"
+  "transient_demo"
+  "transient_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/env.cpp" "src/common/CMakeFiles/irf_common.dir/env.cpp.o" "gcc" "src/common/CMakeFiles/irf_common.dir/env.cpp.o.d"
+  "/root/repo/src/common/gaussian.cpp" "src/common/CMakeFiles/irf_common.dir/gaussian.cpp.o" "gcc" "src/common/CMakeFiles/irf_common.dir/gaussian.cpp.o.d"
+  "/root/repo/src/common/image_io.cpp" "src/common/CMakeFiles/irf_common.dir/image_io.cpp.o" "gcc" "src/common/CMakeFiles/irf_common.dir/image_io.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/irf_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/irf_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/common/CMakeFiles/irf_common.dir/string_util.cpp.o" "gcc" "src/common/CMakeFiles/irf_common.dir/string_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

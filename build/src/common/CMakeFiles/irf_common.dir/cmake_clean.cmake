@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irf_common.dir/env.cpp.o"
+  "CMakeFiles/irf_common.dir/env.cpp.o.d"
+  "CMakeFiles/irf_common.dir/gaussian.cpp.o"
+  "CMakeFiles/irf_common.dir/gaussian.cpp.o.d"
+  "CMakeFiles/irf_common.dir/image_io.cpp.o"
+  "CMakeFiles/irf_common.dir/image_io.cpp.o.d"
+  "CMakeFiles/irf_common.dir/rng.cpp.o"
+  "CMakeFiles/irf_common.dir/rng.cpp.o.d"
+  "CMakeFiles/irf_common.dir/string_util.cpp.o"
+  "CMakeFiles/irf_common.dir/string_util.cpp.o.d"
+  "libirf_common.a"
+  "libirf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irf_core.dir/experiments.cpp.o"
+  "CMakeFiles/irf_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/irf_core.dir/pipeline.cpp.o"
+  "CMakeFiles/irf_core.dir/pipeline.cpp.o.d"
+  "libirf_core.a"
+  "libirf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

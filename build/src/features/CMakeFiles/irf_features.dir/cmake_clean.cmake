@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irf_features.dir/extractor.cpp.o"
+  "CMakeFiles/irf_features.dir/extractor.cpp.o.d"
+  "CMakeFiles/irf_features.dir/scatter.cpp.o"
+  "CMakeFiles/irf_features.dir/scatter.cpp.o.d"
+  "CMakeFiles/irf_features.dir/visualize.cpp.o"
+  "CMakeFiles/irf_features.dir/visualize.cpp.o.d"
+  "libirf_features.a"
+  "libirf_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irf_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

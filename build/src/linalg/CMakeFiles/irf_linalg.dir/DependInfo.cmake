@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/coo.cpp" "src/linalg/CMakeFiles/irf_linalg.dir/coo.cpp.o" "gcc" "src/linalg/CMakeFiles/irf_linalg.dir/coo.cpp.o.d"
+  "/root/repo/src/linalg/csr.cpp" "src/linalg/CMakeFiles/irf_linalg.dir/csr.cpp.o" "gcc" "src/linalg/CMakeFiles/irf_linalg.dir/csr.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/linalg/CMakeFiles/irf_linalg.dir/dense.cpp.o" "gcc" "src/linalg/CMakeFiles/irf_linalg.dir/dense.cpp.o.d"
+  "/root/repo/src/linalg/smoothers.cpp" "src/linalg/CMakeFiles/irf_linalg.dir/smoothers.cpp.o" "gcc" "src/linalg/CMakeFiles/irf_linalg.dir/smoothers.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/linalg/CMakeFiles/irf_linalg.dir/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/irf_linalg.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/irf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irf_linalg.dir/coo.cpp.o"
+  "CMakeFiles/irf_linalg.dir/coo.cpp.o.d"
+  "CMakeFiles/irf_linalg.dir/csr.cpp.o"
+  "CMakeFiles/irf_linalg.dir/csr.cpp.o.d"
+  "CMakeFiles/irf_linalg.dir/dense.cpp.o"
+  "CMakeFiles/irf_linalg.dir/dense.cpp.o.d"
+  "CMakeFiles/irf_linalg.dir/smoothers.cpp.o"
+  "CMakeFiles/irf_linalg.dir/smoothers.cpp.o.d"
+  "CMakeFiles/irf_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/irf_linalg.dir/vector_ops.cpp.o.d"
+  "libirf_linalg.a"
+  "libirf_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irf_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

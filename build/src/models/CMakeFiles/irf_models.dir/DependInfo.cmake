@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/blocks.cpp" "src/models/CMakeFiles/irf_models.dir/blocks.cpp.o" "gcc" "src/models/CMakeFiles/irf_models.dir/blocks.cpp.o.d"
+  "/root/repo/src/models/ir_model.cpp" "src/models/CMakeFiles/irf_models.dir/ir_model.cpp.o" "gcc" "src/models/CMakeFiles/irf_models.dir/ir_model.cpp.o.d"
+  "/root/repo/src/models/irpnet.cpp" "src/models/CMakeFiles/irf_models.dir/irpnet.cpp.o" "gcc" "src/models/CMakeFiles/irf_models.dir/irpnet.cpp.o.d"
+  "/root/repo/src/models/unet.cpp" "src/models/CMakeFiles/irf_models.dir/unet.cpp.o" "gcc" "src/models/CMakeFiles/irf_models.dir/unet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/irf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/irf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

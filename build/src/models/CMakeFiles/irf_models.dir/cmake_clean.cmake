@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irf_models.dir/blocks.cpp.o"
+  "CMakeFiles/irf_models.dir/blocks.cpp.o.d"
+  "CMakeFiles/irf_models.dir/ir_model.cpp.o"
+  "CMakeFiles/irf_models.dir/ir_model.cpp.o.d"
+  "CMakeFiles/irf_models.dir/irpnet.cpp.o"
+  "CMakeFiles/irf_models.dir/irpnet.cpp.o.d"
+  "CMakeFiles/irf_models.dir/unet.cpp.o"
+  "CMakeFiles/irf_models.dir/unet.cpp.o.d"
+  "libirf_models.a"
+  "libirf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

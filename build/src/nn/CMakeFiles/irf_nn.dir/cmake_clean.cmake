@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irf_nn.dir/init.cpp.o"
+  "CMakeFiles/irf_nn.dir/init.cpp.o.d"
+  "CMakeFiles/irf_nn.dir/module.cpp.o"
+  "CMakeFiles/irf_nn.dir/module.cpp.o.d"
+  "CMakeFiles/irf_nn.dir/ops.cpp.o"
+  "CMakeFiles/irf_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/irf_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/irf_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/irf_nn.dir/serialize.cpp.o"
+  "CMakeFiles/irf_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/irf_nn.dir/tensor.cpp.o"
+  "CMakeFiles/irf_nn.dir/tensor.cpp.o.d"
+  "libirf_nn.a"
+  "libirf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

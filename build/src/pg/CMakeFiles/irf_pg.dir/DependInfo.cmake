@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pg/design.cpp" "src/pg/CMakeFiles/irf_pg.dir/design.cpp.o" "gcc" "src/pg/CMakeFiles/irf_pg.dir/design.cpp.o.d"
+  "/root/repo/src/pg/generator.cpp" "src/pg/CMakeFiles/irf_pg.dir/generator.cpp.o" "gcc" "src/pg/CMakeFiles/irf_pg.dir/generator.cpp.o.d"
+  "/root/repo/src/pg/mna.cpp" "src/pg/CMakeFiles/irf_pg.dir/mna.cpp.o" "gcc" "src/pg/CMakeFiles/irf_pg.dir/mna.cpp.o.d"
+  "/root/repo/src/pg/solve.cpp" "src/pg/CMakeFiles/irf_pg.dir/solve.cpp.o" "gcc" "src/pg/CMakeFiles/irf_pg.dir/solve.cpp.o.d"
+  "/root/repo/src/pg/transient.cpp" "src/pg/CMakeFiles/irf_pg.dir/transient.cpp.o" "gcc" "src/pg/CMakeFiles/irf_pg.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/irf_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/irf_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/irf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/irf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irf_pg.dir/design.cpp.o"
+  "CMakeFiles/irf_pg.dir/design.cpp.o.d"
+  "CMakeFiles/irf_pg.dir/generator.cpp.o"
+  "CMakeFiles/irf_pg.dir/generator.cpp.o.d"
+  "CMakeFiles/irf_pg.dir/mna.cpp.o"
+  "CMakeFiles/irf_pg.dir/mna.cpp.o.d"
+  "CMakeFiles/irf_pg.dir/solve.cpp.o"
+  "CMakeFiles/irf_pg.dir/solve.cpp.o.d"
+  "CMakeFiles/irf_pg.dir/transient.cpp.o"
+  "CMakeFiles/irf_pg.dir/transient.cpp.o.d"
+  "libirf_pg.a"
+  "libirf_pg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irf_pg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/aggregation.cpp" "src/solver/CMakeFiles/irf_solver.dir/aggregation.cpp.o" "gcc" "src/solver/CMakeFiles/irf_solver.dir/aggregation.cpp.o.d"
+  "/root/repo/src/solver/amg.cpp" "src/solver/CMakeFiles/irf_solver.dir/amg.cpp.o" "gcc" "src/solver/CMakeFiles/irf_solver.dir/amg.cpp.o.d"
+  "/root/repo/src/solver/amg_pcg.cpp" "src/solver/CMakeFiles/irf_solver.dir/amg_pcg.cpp.o" "gcc" "src/solver/CMakeFiles/irf_solver.dir/amg_pcg.cpp.o.d"
+  "/root/repo/src/solver/cg.cpp" "src/solver/CMakeFiles/irf_solver.dir/cg.cpp.o" "gcc" "src/solver/CMakeFiles/irf_solver.dir/cg.cpp.o.d"
+  "/root/repo/src/solver/ichol.cpp" "src/solver/CMakeFiles/irf_solver.dir/ichol.cpp.o" "gcc" "src/solver/CMakeFiles/irf_solver.dir/ichol.cpp.o.d"
+  "/root/repo/src/solver/preconditioner.cpp" "src/solver/CMakeFiles/irf_solver.dir/preconditioner.cpp.o" "gcc" "src/solver/CMakeFiles/irf_solver.dir/preconditioner.cpp.o.d"
+  "/root/repo/src/solver/random_walk.cpp" "src/solver/CMakeFiles/irf_solver.dir/random_walk.cpp.o" "gcc" "src/solver/CMakeFiles/irf_solver.dir/random_walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/irf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/irf_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/irf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

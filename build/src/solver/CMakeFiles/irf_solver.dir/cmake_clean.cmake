@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irf_solver.dir/aggregation.cpp.o"
+  "CMakeFiles/irf_solver.dir/aggregation.cpp.o.d"
+  "CMakeFiles/irf_solver.dir/amg.cpp.o"
+  "CMakeFiles/irf_solver.dir/amg.cpp.o.d"
+  "CMakeFiles/irf_solver.dir/amg_pcg.cpp.o"
+  "CMakeFiles/irf_solver.dir/amg_pcg.cpp.o.d"
+  "CMakeFiles/irf_solver.dir/cg.cpp.o"
+  "CMakeFiles/irf_solver.dir/cg.cpp.o.d"
+  "CMakeFiles/irf_solver.dir/ichol.cpp.o"
+  "CMakeFiles/irf_solver.dir/ichol.cpp.o.d"
+  "CMakeFiles/irf_solver.dir/preconditioner.cpp.o"
+  "CMakeFiles/irf_solver.dir/preconditioner.cpp.o.d"
+  "CMakeFiles/irf_solver.dir/random_walk.cpp.o"
+  "CMakeFiles/irf_solver.dir/random_walk.cpp.o.d"
+  "libirf_solver.a"
+  "libirf_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irf_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

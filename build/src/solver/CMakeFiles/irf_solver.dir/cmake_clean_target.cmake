@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libirf_solver.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/netlist.cpp" "src/spice/CMakeFiles/irf_spice.dir/netlist.cpp.o" "gcc" "src/spice/CMakeFiles/irf_spice.dir/netlist.cpp.o.d"
+  "/root/repo/src/spice/node_name.cpp" "src/spice/CMakeFiles/irf_spice.dir/node_name.cpp.o" "gcc" "src/spice/CMakeFiles/irf_spice.dir/node_name.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/spice/CMakeFiles/irf_spice.dir/parser.cpp.o" "gcc" "src/spice/CMakeFiles/irf_spice.dir/parser.cpp.o.d"
+  "/root/repo/src/spice/topology.cpp" "src/spice/CMakeFiles/irf_spice.dir/topology.cpp.o" "gcc" "src/spice/CMakeFiles/irf_spice.dir/topology.cpp.o.d"
+  "/root/repo/src/spice/value.cpp" "src/spice/CMakeFiles/irf_spice.dir/value.cpp.o" "gcc" "src/spice/CMakeFiles/irf_spice.dir/value.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/spice/CMakeFiles/irf_spice.dir/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/irf_spice.dir/waveform.cpp.o.d"
+  "/root/repo/src/spice/writer.cpp" "src/spice/CMakeFiles/irf_spice.dir/writer.cpp.o" "gcc" "src/spice/CMakeFiles/irf_spice.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/irf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irf_spice.dir/netlist.cpp.o"
+  "CMakeFiles/irf_spice.dir/netlist.cpp.o.d"
+  "CMakeFiles/irf_spice.dir/node_name.cpp.o"
+  "CMakeFiles/irf_spice.dir/node_name.cpp.o.d"
+  "CMakeFiles/irf_spice.dir/parser.cpp.o"
+  "CMakeFiles/irf_spice.dir/parser.cpp.o.d"
+  "CMakeFiles/irf_spice.dir/topology.cpp.o"
+  "CMakeFiles/irf_spice.dir/topology.cpp.o.d"
+  "CMakeFiles/irf_spice.dir/value.cpp.o"
+  "CMakeFiles/irf_spice.dir/value.cpp.o.d"
+  "CMakeFiles/irf_spice.dir/waveform.cpp.o"
+  "CMakeFiles/irf_spice.dir/waveform.cpp.o.d"
+  "CMakeFiles/irf_spice.dir/writer.cpp.o"
+  "CMakeFiles/irf_spice.dir/writer.cpp.o.d"
+  "libirf_spice.a"
+  "libirf_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irf_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/curriculum.cpp" "src/train/CMakeFiles/irf_train.dir/curriculum.cpp.o" "gcc" "src/train/CMakeFiles/irf_train.dir/curriculum.cpp.o.d"
+  "/root/repo/src/train/dataset.cpp" "src/train/CMakeFiles/irf_train.dir/dataset.cpp.o" "gcc" "src/train/CMakeFiles/irf_train.dir/dataset.cpp.o.d"
+  "/root/repo/src/train/dynamic.cpp" "src/train/CMakeFiles/irf_train.dir/dynamic.cpp.o" "gcc" "src/train/CMakeFiles/irf_train.dir/dynamic.cpp.o.d"
+  "/root/repo/src/train/iccad_io.cpp" "src/train/CMakeFiles/irf_train.dir/iccad_io.cpp.o" "gcc" "src/train/CMakeFiles/irf_train.dir/iccad_io.cpp.o.d"
+  "/root/repo/src/train/metrics.cpp" "src/train/CMakeFiles/irf_train.dir/metrics.cpp.o" "gcc" "src/train/CMakeFiles/irf_train.dir/metrics.cpp.o.d"
+  "/root/repo/src/train/normalizer.cpp" "src/train/CMakeFiles/irf_train.dir/normalizer.cpp.o" "gcc" "src/train/CMakeFiles/irf_train.dir/normalizer.cpp.o.d"
+  "/root/repo/src/train/sample.cpp" "src/train/CMakeFiles/irf_train.dir/sample.cpp.o" "gcc" "src/train/CMakeFiles/irf_train.dir/sample.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/train/CMakeFiles/irf_train.dir/trainer.cpp.o" "gcc" "src/train/CMakeFiles/irf_train.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/irf_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/irf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/pg/CMakeFiles/irf_pg.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/irf_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/irf_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/irf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/irf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/irf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

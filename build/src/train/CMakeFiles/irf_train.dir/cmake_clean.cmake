@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irf_train.dir/curriculum.cpp.o"
+  "CMakeFiles/irf_train.dir/curriculum.cpp.o.d"
+  "CMakeFiles/irf_train.dir/dataset.cpp.o"
+  "CMakeFiles/irf_train.dir/dataset.cpp.o.d"
+  "CMakeFiles/irf_train.dir/dynamic.cpp.o"
+  "CMakeFiles/irf_train.dir/dynamic.cpp.o.d"
+  "CMakeFiles/irf_train.dir/iccad_io.cpp.o"
+  "CMakeFiles/irf_train.dir/iccad_io.cpp.o.d"
+  "CMakeFiles/irf_train.dir/metrics.cpp.o"
+  "CMakeFiles/irf_train.dir/metrics.cpp.o.d"
+  "CMakeFiles/irf_train.dir/normalizer.cpp.o"
+  "CMakeFiles/irf_train.dir/normalizer.cpp.o.d"
+  "CMakeFiles/irf_train.dir/sample.cpp.o"
+  "CMakeFiles/irf_train.dir/sample.cpp.o.d"
+  "CMakeFiles/irf_train.dir/trainer.cpp.o"
+  "CMakeFiles/irf_train.dir/trainer.cpp.o.d"
+  "libirf_train.a"
+  "libirf_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irf_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

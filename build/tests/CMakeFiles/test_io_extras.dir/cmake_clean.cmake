@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_extras.dir/test_io_extras.cpp.o"
+  "CMakeFiles/test_io_extras.dir/test_io_extras.cpp.o.d"
+  "test_io_extras"
+  "test_io_extras.pdb"
+  "test_io_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

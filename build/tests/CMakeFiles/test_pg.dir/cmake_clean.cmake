@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pg.dir/test_pg.cpp.o"
+  "CMakeFiles/test_pg.dir/test_pg.cpp.o.d"
+  "test_pg"
+  "test_pg.pdb"
+  "test_pg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

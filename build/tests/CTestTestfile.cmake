@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_spice[1]_include.cmake")
+include("/root/repo/build/tests/test_pg[1]_include.cmake")
+include("/root/repo/build/tests/test_transient[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_grad[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_modules[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_train[1]_include.cmake")
+include("/root/repo/build/tests/test_io_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_train_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_visualize[1]_include.cmake")
+add_test(cli_smoke "sh" "/root/repo/tests/cli_smoke.sh" "/root/repo/build/tools/irf_cli" "/root/repo/build/tests/cli_smoke_work")
+set_tests_properties(cli_smoke PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irf_cli.dir/irf_cli.cpp.o"
+  "CMakeFiles/irf_cli.dir/irf_cli.cpp.o.d"
+  "irf_cli"
+  "irf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
