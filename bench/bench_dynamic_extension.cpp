@@ -15,11 +15,13 @@
 #include "models/unet.hpp"
 #include "train/dynamic.hpp"
 #include "train/trainer.hpp"
+#include "obs/obs.hpp"
 
 int main() {
   using namespace irf;
   try {
     std::cout.setf(std::ios::unitbuf);
+    irf::obs::enable_bench_metrics("bench_dynamic_extension");
     const ScaleConfig config = resolve_scale_from_env();
     std::cout << "bench_dynamic_extension — transient worst-case IR prediction\n";
     std::cout << "config: " << config.describe() << "\n";

@@ -7,10 +7,12 @@
 
 #include "common/env.hpp"
 #include "core/experiments.hpp"
+#include "obs/obs.hpp"
 
 int main() {
   try {
     std::cout.setf(std::ios::unitbuf);  // stream progress even when redirected
+    irf::obs::enable_bench_metrics("bench_fig7_tradeoff");
     const irf::ScaleConfig config = irf::resolve_scale_from_env();
     std::cout << "bench_fig7_tradeoff — Fig. 7 reproduction\n";
     std::cout << "config: " << config.describe() << "\n";

@@ -7,6 +7,7 @@
 #include "models/blocks.hpp"
 #include "models/unet.hpp"
 #include "nn/ops.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -85,4 +86,13 @@ BENCHMARK(BM_IrFusionModelForward)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run leaves a BENCH_*.json metrics
+// artifact next to google-benchmark's own report (see obs/obs.hpp).
+int main(int argc, char** argv) {
+  irf::obs::enable_bench_metrics("bench_nn_micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,11 +9,13 @@
 
 #include "common/env.hpp"
 #include "core/experiments.hpp"
+#include "obs/obs.hpp"
 
 int main() {
   using namespace irf;
   try {
     std::cout.setf(std::ios::unitbuf);  // stream progress even when redirected
+    irf::obs::enable_bench_metrics("bench_residual_ablation");
     const ScaleConfig config = resolve_scale_from_env();
     std::cout << "bench_residual_ablation — residual vs direct prediction\n";
     std::cout << "config: " << config.describe() << "\n";

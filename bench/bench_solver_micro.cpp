@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "linalg/smoothers.hpp"
+#include "obs/obs.hpp"
 #include "pg/generator.hpp"
 #include "pg/mna.hpp"
 #include "solver/amg_pcg.hpp"
@@ -82,4 +83,13 @@ BENCHMARK(BM_RoughSolve)->Arg(1)->Arg(3)->Arg(10);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run leaves a BENCH_*.json metrics
+// artifact next to google-benchmark's own report (see obs/obs.hpp).
+int main(int argc, char** argv) {
+  irf::obs::enable_bench_metrics("bench_solver_micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

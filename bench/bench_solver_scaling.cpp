@@ -12,11 +12,13 @@
 #include "pg/mna.hpp"
 #include "solver/amg_pcg.hpp"
 #include "solver/cg.hpp"
+#include "obs/obs.hpp"
 
 int main() {
   using namespace irf;
   try {
     std::cout.setf(std::ios::unitbuf);  // stream progress even when redirected
+    irf::obs::enable_bench_metrics("bench_solver_scaling");
     std::cout << "bench_solver_scaling — CG vs Jacobi-PCG vs AMG-PCG on growing PGs\n";
     std::cout << std::left << std::setw(8) << "px" << std::right << std::setw(10)
               << "unknowns" << std::setw(10) << "CG its" << std::setw(12) << "Jacobi its"

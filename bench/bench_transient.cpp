@@ -14,11 +14,13 @@
 #include "pg/generator.hpp"
 #include "pg/solve.hpp"
 #include "pg/transient.hpp"
+#include "obs/obs.hpp"
 
 int main() {
   using namespace irf;
   try {
     std::cout.setf(std::ios::unitbuf);
+    irf::obs::enable_bench_metrics("bench_transient");
     std::cout << "bench_transient — backward-Euler stepping on AMG-PCG\n";
     Rng rng(2025);
     pg::PgDesign design = pg::generate_fake_design(32, rng, "transient_bench");

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "obs/obs.hpp"
 
 namespace irf {
 
@@ -24,6 +25,7 @@ ScaleConfig make_scale_config(Scale scale) {
 }
 
 ScaleConfig resolve_scale_from_env() {
+  obs::init_from_env();  // IRF_TRACE / IRF_METRICS / IRF_LOG_LEVEL
   Scale scale = Scale::kCi;
   if (const char* s = std::getenv("IRF_SCALE")) {
     std::string v = to_lower(trim(s));

@@ -5,6 +5,11 @@
 /// startup: `IRF_SCALE=ci` (default) runs minutes-scale configurations on a
 /// single core, `IRF_SCALE=paper` reproduces the paper-scale setup
 /// (256x256 maps, contest-sized dataset, full model widths).
+///
+/// Telemetry environment variables (IRF_TRACE, IRF_METRICS, IRF_LOG_LEVEL)
+/// are owned by the irf::obs subsystem — see obs/obs.hpp and
+/// docs/OBSERVABILITY.md. `resolve_scale_from_env()` applies them as a side
+/// effect so every scale-aware binary gets tracing/metrics for free.
 
 #include <cstdint>
 #include <string>

@@ -2,11 +2,14 @@
 
 #include <fstream>
 
+#include <memory>
+
 #include "common/error.hpp"
-#include "common/stopwatch.hpp"
 #include "features/extractor.hpp"
 #include "models/unet.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace irf::core {
 
@@ -41,6 +44,8 @@ Sample IrFusionPipeline::sample_for(const PreparedDesign& prepared) const {
 train::TrainHistory IrFusionPipeline::fit(
     const std::vector<PreparedDesign>& train_designs) {
   if (train_designs.empty()) throw ConfigError("fit: no training designs");
+  obs::ScopedSpan fit_span("pipeline_fit", "pipeline");
+  fit_span.add_arg("designs", static_cast<double>(train_designs.size()));
   std::vector<Sample> samples = train::make_samples(
       train_designs, config_.rough_iterations, config_.image_size);
   if (config_.use_augmentation) samples = train::augment_rotations(samples);
@@ -83,17 +88,23 @@ GridF IrFusionPipeline::analyze(const pg::PgDesign& design) const {
 IrFusionPipeline::Diagnostics IrFusionPipeline::analyze_with_diagnostics(
     const pg::PgDesign& design) const {
   if (!fitted_) throw ConfigError("analyze: pipeline not fitted");
+  obs::ScopedSpan analyze_span("analyze", "pipeline");
+  obs::count("pipeline.analyses");
   Diagnostics diag;
   diag.rough_iterations = config_.rough_iterations;
 
   // Numerical stage: MNA assembly + AMG setup + rough PCG iterations.
-  Stopwatch solve_timer;
+  // (unique_ptr so the span closes at the stage boundary; amg_setup and
+  // rough_solve nest inside it.)
+  auto solve_span = std::make_unique<obs::ScopedSpan>("numerical_stage", "pipeline");
   pg::PgSolver solver(design);
   const pg::PgSolution rough = solver.solve_rough(config_.rough_iterations);
-  diag.solve_seconds = solve_timer.seconds();
+  diag.solve_seconds = solve_span->seconds();
+  solve_span.reset();
 
-  // Fusion stage: hierarchical numerical-structural features + inference.
-  Stopwatch infer_timer;
+  // Fusion stage: hierarchical numerical-structural features + inference;
+  // feature_extract and infer spans nest inside it.
+  obs::ScopedSpan fusion_span("fusion_stage", "pipeline");
   features::FeatureOptions opts;
   opts.image_size = config_.image_size;
   opts.hierarchical = true;
@@ -109,7 +120,7 @@ IrFusionPipeline::Diagnostics IrFusionPipeline::analyze_with_diagnostics(
 
   diag.rough = sample.rough_bottom;
   diag.prediction = predict(sample);
-  diag.inference_seconds = infer_timer.seconds();
+  diag.inference_seconds = fusion_span.seconds();
 
   diag.correction = diag.prediction;
   for (std::size_t i = 0; i < diag.correction.size(); ++i) {
@@ -277,10 +288,10 @@ train::AggregateMetrics IrFusionPipeline::evaluate(
   std::vector<train::MapMetrics> per_design;
   double runtime = 0.0;
   for (const PreparedDesign& prepared : test_designs) {
-    Stopwatch timer;
+    obs::ScopedSpan span("evaluate_design", "pipeline");
     Sample sample = sample_for(prepared);  // rough solve + feature fusion
     GridF pred = predict(sample);
-    runtime += timer.seconds();
+    runtime += span.seconds();
     per_design.push_back(train::evaluate_map(pred, sample.label));
   }
   train::AggregateMetrics agg = train::aggregate(per_design);

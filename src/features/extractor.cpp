@@ -8,6 +8,8 @@
 
 #include "common/error.hpp"
 #include "features/scatter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spice/topology.hpp"
 
 namespace irf::features {
@@ -110,6 +112,10 @@ std::vector<double> shortest_path_resistance(const PgDesign& design) {
 
 FeatureStack extract_features(const PgDesign& design, const PgSolution* rough,
                               const FeatureOptions& options) {
+  obs::ScopedSpan span("feature_extract", "features");
+  span.add_arg("image_size", options.image_size);
+  span.add_arg("hierarchical", options.hierarchical ? 1.0 : 0.0);
+  obs::count("features.extractions");
   if (options.image_size < 8) throw DimensionError("feature image size too small");
   if (options.include_numerical && rough == nullptr) {
     throw ConfigError("numerical features requested but no rough solution given");
@@ -265,6 +271,10 @@ GridF bottom_layer_map(const PgDesign& design, const linalg::Vec& node_values,
 }
 
 GridF label_map(const PgDesign& design, const PgSolution& golden, int image_size) {
+  // Rasterizing a solution into the bottom-layer map is the same work as the
+  // numerical feature channel, so it reports under the same span name.
+  obs::ScopedSpan span("feature_extract", "features");
+  span.add_arg("image_size", image_size);
   return bottom_layer_map(design, golden.ir_drop, image_size);
 }
 

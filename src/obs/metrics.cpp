@@ -1,0 +1,98 @@
+#include "obs/metrics.hpp"
+
+namespace irf::obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace
+
+void Timer::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.count == 0) {
+    stats_.min_seconds = seconds;
+    stats_.max_seconds = seconds;
+  } else {
+    if (seconds < stats_.min_seconds) stats_.min_seconds = seconds;
+    if (seconds > stats_.max_seconds) stats_.max_seconds = seconds;
+  }
+  ++stats_.count;
+  stats_.total_seconds += seconds;
+}
+
+Timer::Stats Timer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Timer::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = Stats{};
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Timer& MetricsRegistry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) snap.timers.emplace_back(name, t->stats());
+  return snap;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+bool metrics_enabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void count(const std::string& name, std::uint64_t n) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry::instance().counter(name).add(n);
+}
+
+void set_gauge(const std::string& name, double value) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry::instance().gauge(name).set(value);
+}
+
+void record_timer(const std::string& name, double seconds) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry::instance().timer(name).record(seconds);
+}
+
+}  // namespace irf::obs

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Process-wide registry of named counters, gauges and histogram-style
+/// timers. Instruments are created lazily on first use and are safe to
+/// update from any thread; the registry survives for the whole process so
+/// exporters (JSON snapshot, summary table — see obs.hpp) can read a
+/// consistent view at exit or on demand.
+///
+/// Instrument updates are cheap (an atomic op, or a short mutex hold for
+/// timers) but still avoidable: the free helpers `count()` / `set_gauge()` /
+/// `record_timer()` check `metrics_enabled()` first so that a process with
+/// metrics switched off (IRF_METRICS=0) pays only a relaxed atomic load.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace irf::obs {
+
+/// Monotonic event count (solves run, PCG iterations, samples trained).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (epoch loss, AMG operator complexity, hard fraction).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram-style duration accumulator: count / total / min / max / mean.
+/// ScopedSpan records into the timer named after the span, so phase timings
+/// (amg_setup vs. pcg_iterate vs. feature_extract ...) aggregate here.
+class Timer {
+ public:
+  struct Stats {
+    std::uint64_t count = 0;
+    double total_seconds = 0.0;
+    double min_seconds = 0.0;
+    double max_seconds = 0.0;
+    double mean_seconds() const { return count == 0 ? 0.0 : total_seconds / count; }
+  };
+
+  void record(double seconds);
+  Stats stats() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  Stats stats_;
+};
+
+/// Point-in-time copy of every instrument, for exporters and tests.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Timer::Stats>> timers;
+  bool empty() const { return counters.empty() && gauges.empty() && timers.empty(); }
+};
+
+/// Process-wide instrument registry. Lookup takes the registry mutex; the
+/// returned references stay valid for the life of the process, so hot paths
+/// should resolve an instrument once and update the reference.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Drop every instrument (tests only — outstanding references die).
+  void clear();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/// True when metric collection is on (default; IRF_METRICS=0 switches off).
+bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+/// Gated instrument helpers for instrumentation sites: no-ops (one relaxed
+/// atomic load) when metrics are disabled.
+void count(const std::string& name, std::uint64_t n = 1);
+void set_gauge(const std::string& name, double value);
+void record_timer(const std::string& name, double seconds);
+
+}  // namespace irf::obs

@@ -1,5 +1,8 @@
 #include "pg/solve.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace irf::pg {
 
 PgSolver::PgSolver(const PgDesign& design, solver::AmgOptions amg_options)
@@ -23,12 +26,17 @@ PgSolution PgSolver::finalize(const solver::SolveResult& result) const {
 }
 
 PgSolution PgSolver::solve_golden(double rel_tolerance) const {
+  obs::ScopedSpan span("golden_solve", "pg");
+  obs::count("pg.solves.golden");
   const linalg::Vec x0 = flat_supply_guess();
   return finalize(solver_->solve_golden(mna_.rhs, rel_tolerance, /*max_iterations=*/2000,
                                         &x0));
 }
 
 PgSolution PgSolver::solve_rough(int iterations) const {
+  obs::ScopedSpan span("rough_solve", "pg");
+  span.add_arg("iterations", iterations);
+  obs::count("pg.solves.rough");
   const linalg::Vec x0 = flat_supply_guess();
   return finalize(solver_->solve_rough(mna_.rhs, iterations, &x0));
 }

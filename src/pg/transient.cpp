@@ -4,7 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spice/topology.hpp"
 
 namespace irf::pg {
@@ -65,7 +66,8 @@ TransientSolver::TransientSolver(const PgDesign& design, TransientOptions option
 }
 
 TransientResult TransientSolver::run() const {
-  Stopwatch setup_timer;
+  // unique_ptr so the span can close at the setup/stepping boundary below.
+  auto setup_span = std::make_unique<obs::ScopedSpan>("transient_setup", "pg");
   TransientResult result;
   const int m = static_cast<int>(static_system_.eq_to_node.size());
   spice::CircuitTopology topo(design_.netlist);
@@ -92,10 +94,12 @@ TransientResult TransientSolver::run() const {
   linalg::Vec x0(static_cast<std::size_t>(m), design_.vdd);
   solver::SolveResult dc = dc_solver_->solve_golden(rhs, 1e-10, 2000, &x0);
   linalg::Vec v = dc.x;
-  result.setup_seconds = setup_timer.seconds();
+  result.setup_seconds = setup_span->seconds();
+  setup_span.reset();
 
-  Stopwatch step_timer;
+  obs::ScopedSpan steps_span("transient_steps", "pg");
   const int steps = static_cast<int>(std::ceil(options_.duration / options_.timestep));
+  steps_span.add_arg("steps", steps);
   result.worst_ir_drop.assign(
       static_cast<std::size_t>(design_.netlist.num_nodes()), 0.0);
   // Pads never drop; seed worst map from the DC point for free nodes.
@@ -130,7 +134,10 @@ TransientResult TransientSolver::run() const {
       result.probe_traces[p].push_back(full[options_.probe_nodes[p]]);
     }
   }
-  result.step_seconds = step_timer.seconds();
+  obs::count("pg.transient.steps", static_cast<std::uint64_t>(steps));
+  obs::count("pg.transient.pcg_iterations",
+             static_cast<std::uint64_t>(result.total_pcg_iterations));
+  result.step_seconds = steps_span.seconds();
   return result;
 }
 

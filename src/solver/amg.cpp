@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "linalg/smoothers.hpp"
+#include "obs/metrics.hpp"
 
 namespace irf::solver {
 
@@ -29,6 +30,10 @@ AmgHierarchy::AmgHierarchy(const CsrMatrix& a, AmgOptions options)
   }
   coarse_solver_ = std::make_unique<linalg::CholeskyFactor>(
       linalg::DenseMatrix::from_csr(levels_.back().matrix));
+  obs::count("solver.amg.hierarchies_built");
+  obs::set_gauge("solver.amg.levels", num_levels());
+  obs::set_gauge("solver.amg.grid_complexity", grid_complexity());
+  obs::set_gauge("solver.amg.operator_complexity", operator_complexity());
 }
 
 double AmgHierarchy::grid_complexity() const {

@@ -1,14 +1,16 @@
 #include "solver/amg_pcg.hpp"
 
-#include "common/stopwatch.hpp"
+#include "obs/trace.hpp"
 
 namespace irf::solver {
 
 AmgPcgSolver::AmgPcgSolver(const linalg::CsrMatrix& a, AmgOptions amg_options)
     : matrix_(a) {
-  Stopwatch timer;
+  obs::ScopedSpan span("amg_setup", "solver");
   hierarchy_ = std::make_unique<AmgHierarchy>(matrix_, amg_options);
-  setup_seconds_ = timer.seconds();
+  span.add_arg("rows", matrix_.rows());
+  span.add_arg("levels", hierarchy_->num_levels());
+  setup_seconds_ = span.seconds();
 }
 
 SolveResult AmgPcgSolver::solve(const linalg::Vec& b, const SolveOptions& options,

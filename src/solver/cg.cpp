@@ -3,7 +3,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace irf::solver {
 
@@ -25,7 +26,7 @@ SolveResult preconditioned_cg(const linalg::CsrMatrix& a, const Vec& b,
   if (x0 && static_cast<int>(x0->size()) != a.rows()) {
     throw DimensionError("PCG initial guess size mismatch");
   }
-  Stopwatch timer;
+  obs::ScopedSpan solve_span("pcg_solve", "solver");
   const int n = a.rows();
   SolveResult result;
   if (x0) {
@@ -64,6 +65,7 @@ SolveResult preconditioned_cg(const linalg::CsrMatrix& a, const Vec& b,
       result.converged = true;
       break;
     }
+    obs::ScopedSpan iterate_span("pcg_iterate", "solver");
     a.multiply(p, ap);
     const double pap = linalg::dot(p, ap);
     if (pap <= 0.0 || !std::isfinite(pap)) {
@@ -110,7 +112,12 @@ SolveResult preconditioned_cg(const linalg::CsrMatrix& a, const Vec& b,
     result.converged =
         res_norm / b_norm < options.rel_tolerance || res_norm < options.abs_tolerance;
   }
-  result.solve_seconds = timer.seconds();
+  obs::count("solver.pcg.solves");
+  obs::count("solver.pcg.iterations", static_cast<std::uint64_t>(k));
+  obs::set_gauge("solver.pcg.last_relative_residual", result.final_relative_residual);
+  solve_span.add_arg("iterations", k);
+  solve_span.add_arg("converged", result.converged ? 1.0 : 0.0);
+  result.solve_seconds = solve_span.seconds();
   return result;
 }
 

@@ -28,8 +28,11 @@ struct SolveResult {
   bool converged = false;
   double final_relative_residual = 0.0;
   std::vector<double> residual_history;  ///< ||r||_2 per iteration, entry 0 = initial
-  double setup_seconds = 0.0;            ///< preconditioner setup (AMG hierarchy)
-  double solve_seconds = 0.0;            ///< iteration time
+  /// Phase timings, sourced from the irf::obs spans that instrument the
+  /// solver ("amg_setup" / "pcg_solve") so the numbers here always agree
+  /// with the exported trace and metrics (see obs/trace.hpp).
+  double setup_seconds = 0.0;  ///< preconditioner setup (AMG hierarchy)
+  double solve_seconds = 0.0;  ///< iteration time
 };
 
 }  // namespace irf::solver

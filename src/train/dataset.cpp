@@ -2,6 +2,8 @@
 
 #include "common/error.hpp"
 #include "features/extractor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace irf::train {
 
@@ -21,6 +23,9 @@ DesignSet build_design_set(const ScaleConfig& config) {
   if (config.num_real_designs < 2) {
     throw ConfigError("need at least 2 real designs (train/test split)");
   }
+  obs::ScopedSpan span("generate", "train");
+  span.add_arg("fake", config.num_fake_designs);
+  span.add_arg("real", config.num_real_designs);
   DesignSet set;
   set.image_size = config.image_size;
   Rng rng(config.seed);
@@ -47,6 +52,7 @@ DesignSet build_design_set(const ScaleConfig& config) {
 
 Sample make_sample(const PreparedDesign& prepared, int rough_iterations, int image_size) {
   if (rough_iterations < 1) throw ConfigError("rough_iterations must be >= 1");
+  obs::count("train.samples_built");
   Sample s;
   s.design_name = prepared.design->name;
   s.kind = prepared.design->kind;

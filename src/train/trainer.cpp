@@ -4,8 +4,10 @@
 
 #include "common/error.hpp"
 #include "common/gaussian.hpp"
-#include "common/stopwatch.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace irf::train {
 
@@ -28,7 +30,9 @@ TrainHistory train_model(models::IrModel& model, const std::vector<Sample>& samp
   if (options.lr_min_ratio <= 0.0 || options.lr_min_ratio > 1.0) {
     throw ConfigError("lr_min_ratio must be in (0, 1]");
   }
-  Stopwatch timer;
+  obs::ScopedSpan train_span("train_model", "train");
+  train_span.add_arg("epochs", options.epochs);
+  train_span.add_arg("samples", static_cast<double>(samples.size()));
   model.set_training(true);
   nn::Adam optimizer(model.parameters(), options.learning_rate, 0.9, 0.999, 1e-8,
                      options.weight_decay);
@@ -44,6 +48,8 @@ TrainHistory train_model(models::IrModel& model, const std::vector<Sample>& samp
       optimizer.lr() = floor + 0.5 * (options.learning_rate - floor) *
                                    (1.0 + std::cos(3.14159265358979323846 * t));
     }
+    obs::ScopedSpan epoch_span("train_epoch", "train");
+    epoch_span.add_arg("epoch", epoch);
     const std::vector<int> order = scheduler.epoch_indices(epoch);
     double loss_sum = 0.0;
     for (int idx : order) {
@@ -60,15 +66,22 @@ TrainHistory train_model(models::IrModel& model, const std::vector<Sample>& samp
     }
     const double mean_loss = order.empty() ? 0.0 : loss_sum / order.size();
     history.epoch_loss.push_back(mean_loss);
+    obs::count("train.samples_trained", order.size());
+    obs::set_gauge("train.epoch_loss", mean_loss);
+    obs::set_gauge("train.curriculum.hard_fraction", scheduler.hard_fraction(epoch));
+    obs::verbose() << "epoch " << epoch << " mean loss " << mean_loss;
     if (options.on_epoch) options.on_epoch(epoch, mean_loss);
   }
-  history.seconds = timer.seconds();
+  obs::count("train.epochs", static_cast<std::uint64_t>(options.epochs));
+  history.seconds = train_span.seconds();
   model.set_training(false);
   return history;
 }
 
 GridF predict_volts(models::IrModel& model, const Sample& sample, FeatureView view,
                     const Normalizer& normalizer) {
+  obs::ScopedSpan span("infer", "train");
+  obs::count("train.inferences");
   model.set_training(false);
   nn::Tensor input = normalizer.input_tensor(sample, view);
   nn::Tensor pred = model.forward(input);
@@ -81,14 +94,14 @@ AggregateMetrics evaluate_model(models::IrModel& model, const std::vector<Sample
   if (samples.empty()) throw ConfigError("evaluate_model: empty sample list");
   model.set_training(false);
   std::vector<MapMetrics> per_design;
-  Stopwatch timer;
+  obs::ScopedSpan span("evaluate_model", "train");
   for (const Sample& sample : samples) {
     GridF pred = predict_volts(model, sample, view, normalizer);
     per_design.push_back(evaluate_map(pred, sample.label));
   }
   AggregateMetrics agg = aggregate(per_design);
   agg.runtime_seconds =
-      timer.seconds() / static_cast<double>(samples.size()) + extra_runtime_per_design;
+      span.seconds() / static_cast<double>(samples.size()) + extra_runtime_per_design;
   return agg;
 }
 

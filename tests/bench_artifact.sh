@@ -1,0 +1,21 @@
+#!/bin/sh
+# Run a (filtered, short) benchmark binary and validate the BENCH_<name>.json
+# telemetry artifact it must leave behind (see obs::enable_bench_metrics).
+# Usage: bench_artifact.sh BENCH_BINARY BENCH_NAME IRF_CLI WORKDIR [bench args...]
+set -e
+
+BENCH="$1"
+NAME="$2"
+CLI="$3"
+WORK="$4"
+shift 4
+
+mkdir -p "$WORK"
+cd "$WORK"
+rm -f "BENCH_$NAME.json"
+
+"$BENCH" "$@"
+
+test -s "BENCH_$NAME.json" || { echo "BENCH_$NAME.json missing or empty"; exit 1; }
+"$CLI" json-check "BENCH_$NAME.json"
+echo "BENCH_ARTIFACT_PASS $NAME"

@@ -17,6 +17,29 @@ echo "== solve ($DECK) =="
 "$CLI" solve "$DECK" --iters 3 --px 32 --out "$WORK/rough.csv"
 test -s "$WORK/rough.csv"
 
+echo "== telemetry (--trace-out / --metrics-out) =="
+"$CLI" solve "$DECK" --iters 3 --px 32 \
+  --trace-out "$WORK/trace.json" --metrics-out "$WORK/metrics.json"
+test -s "$WORK/trace.json"
+test -s "$WORK/metrics.json"
+"$CLI" json-check "$WORK/trace.json"
+"$CLI" json-check "$WORK/metrics.json"
+# The trace must contain the solver spans; the metrics must count the solve.
+grep -q '"name":"amg_setup"' "$WORK/trace.json"
+grep -q '"name":"pcg_iterate"' "$WORK/trace.json"
+grep -q '"name":"feature_extract"' "$WORK/trace.json"
+grep -q '"solver.pcg.solves"' "$WORK/metrics.json"
+
+echo "== telemetry via environment (IRF_TRACE) =="
+IRF_TRACE="$WORK/env_trace.json" "$CLI" solve "$DECK" --iters 3 --px 32
+test -s "$WORK/env_trace.json"
+"$CLI" json-check "$WORK/env_trace.json"
+grep -q '"name":"rough_solve"' "$WORK/env_trace.json"
+
+echo "== quiet mode =="
+OUT=$(IRF_LOG_LEVEL=quiet "$CLI" solve "$DECK" --iters 3 --px 32)
+test -z "$OUT" || { echo "quiet mode must not print: $OUT"; exit 1; }
+
 echo "== train =="
 "$CLI" train --designs "$WORK/designs" --out "$WORK/model.bin" \
   --epochs 1 --px 32 --iters 2 --seed 5
@@ -33,5 +56,10 @@ if "$CLI" solve /nonexistent.sp; then echo "missing deck must fail"; exit 1; fi
 if "$CLI" analyze --model /nonexistent.bin "$DECK"; then
   echo "missing model must fail"; exit 1
 fi
+if "$CLI" solve "$DECK" --iters abc; then echo "non-numeric --iters must fail"; exit 1; fi
+if "$CLI" solve "$DECK" --iters 3 --px 0; then echo "--px 0 must fail"; exit 1; fi
+if "$CLI" solve "$DECK" --iters 3 --px -4; then echo "negative --px must fail"; exit 1; fi
+if "$CLI" solve "$DECK" --iters -1; then echo "negative --iters must fail"; exit 1; fi
+if "$CLI" json-check "$WORK/rough.csv"; then echo "json-check must reject CSV"; exit 1; fi
 
 echo "CLI_SMOKE_PASS"

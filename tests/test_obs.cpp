@@ -1,0 +1,258 @@
+// Tests for the irf::obs telemetry subsystem: metrics aggregation, span
+// nesting, thread-safety, exporter JSON well-formedness, and zero-output
+// disabled mode. The subsystem is process-global, so every test starts from
+// a clean slate via the fixture.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using namespace irf;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry::instance().clear();
+    obs::clear_trace_events();
+    obs::set_metrics_enabled(true);
+    obs::set_trace_enabled(false);
+  }
+  void TearDown() override {
+    obs::MetricsRegistry::instance().clear();
+    obs::clear_trace_events();
+    obs::set_metrics_enabled(true);
+    obs::set_trace_enabled(false);
+    obs::set_log_level(obs::LogLevel::kNormal);
+  }
+};
+
+TEST_F(ObsTest, CounterAggregates) {
+  obs::count("test.counter");
+  obs::count("test.counter", 41);
+  EXPECT_EQ(obs::MetricsRegistry::instance().counter("test.counter").value(), 42u);
+}
+
+TEST_F(ObsTest, GaugeKeepsLastValue) {
+  obs::set_gauge("test.gauge", 1.5);
+  obs::set_gauge("test.gauge", -2.25);
+  EXPECT_DOUBLE_EQ(obs::MetricsRegistry::instance().gauge("test.gauge").value(), -2.25);
+}
+
+TEST_F(ObsTest, TimerTracksCountTotalMinMax) {
+  obs::record_timer("test.timer", 0.25);
+  obs::record_timer("test.timer", 0.75);
+  obs::record_timer("test.timer", 0.5);
+  const obs::Timer::Stats s = obs::MetricsRegistry::instance().timer("test.timer").stats();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.total_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(s.min_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(s.max_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(s.mean_seconds(), 0.5);
+}
+
+TEST_F(ObsTest, SnapshotCoversAllInstrumentKinds) {
+  obs::count("snap.counter", 7);
+  obs::set_gauge("snap.gauge", 3.5);
+  obs::record_timer("snap.timer", 0.1);
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "snap.counter");
+  EXPECT_EQ(snap.counters[0].second, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 3.5);
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].second.count, 1u);
+}
+
+TEST_F(ObsTest, DisabledMetricsCollectNothing) {
+  obs::set_metrics_enabled(false);
+  obs::count("off.counter");
+  obs::set_gauge("off.gauge", 9.0);
+  obs::record_timer("off.timer", 1.0);
+  { obs::ScopedSpan span("off.span"); }
+  EXPECT_TRUE(obs::MetricsRegistry::instance().snapshot().empty());
+}
+
+TEST_F(ObsTest, ConcurrentCounterIncrementsDoNotLose) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIncrements; ++i) obs::count("mt.counter");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(obs::MetricsRegistry::instance().counter("mt.counter").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(ObsTest, ConcurrentTimerRecordsDoNotLose) {
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kRecords; ++i) obs::record_timer("mt.timer", 0.001);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const obs::Timer::Stats s = obs::MetricsRegistry::instance().timer("mt.timer").stats();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kRecords);
+  EXPECT_NEAR(s.total_seconds, kThreads * kRecords * 0.001, 1e-6);
+}
+
+TEST_F(ObsTest, SpanNestingDepthAndPath) {
+  obs::set_trace_enabled(true);
+  EXPECT_EQ(obs::current_span_depth(), 0);
+  {
+    obs::ScopedSpan outer("outer");
+    EXPECT_EQ(obs::current_span_depth(), 1);
+    {
+      obs::ScopedSpan inner("inner");
+      EXPECT_EQ(obs::current_span_depth(), 2);
+      const std::vector<std::string> path = obs::current_span_path();
+      ASSERT_EQ(path.size(), 2u);
+      EXPECT_EQ(path[0], "outer");
+      EXPECT_EQ(path[1], "inner");
+    }
+    EXPECT_EQ(obs::current_span_depth(), 1);
+  }
+  EXPECT_EQ(obs::current_span_depth(), 0);
+
+  // Inner closes first, so it is emitted first and sits fully inside outer.
+  const std::vector<obs::TraceEvent> events = obs::trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_LE(events[1].start_us, events[0].start_us);
+  EXPECT_GE(events[1].start_us + events[1].duration_us,
+            events[0].start_us + events[0].duration_us);
+}
+
+TEST_F(ObsTest, SpanSecondsIsUsableEvenWhenDisabled) {
+  obs::set_trace_enabled(false);
+  obs::set_metrics_enabled(false);
+  obs::ScopedSpan span("untracked");
+  EXPECT_GE(span.seconds(), 0.0);
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST_F(ObsTest, DisabledTracingProducesZeroOutput) {
+  obs::set_trace_enabled(false);
+  { obs::ScopedSpan span("invisible"); }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+  const obs::JsonValue doc = obs::parse_json(obs::chrome_trace_json());
+  EXPECT_TRUE(doc.at("traceEvents").array.empty());
+}
+
+TEST_F(ObsTest, ChromeTraceJsonParsesBack) {
+  obs::set_trace_enabled(true);
+  {
+    obs::ScopedSpan a("amg_setup", "solver");
+    a.add_arg("rows", 1024);
+    obs::ScopedSpan b("pcg_iterate", "solver");
+  }
+  const obs::JsonValue doc = obs::parse_json(obs::chrome_trace_json());
+  const obs::JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array.size(), 2u);
+  for (const obs::JsonValue& e : events.array) {
+    EXPECT_EQ(e.at("ph").string, "X");
+    EXPECT_TRUE(e.has("name"));
+    EXPECT_TRUE(e.has("ts"));
+    EXPECT_TRUE(e.has("dur"));
+    EXPECT_GE(e.at("dur").number, 0.0);
+  }
+  EXPECT_EQ(events.array[0].at("name").string, "pcg_iterate");
+  EXPECT_EQ(events.array[1].at("name").string, "amg_setup");
+  EXPECT_DOUBLE_EQ(events.array[1].at("args").at("rows").number, 1024.0);
+}
+
+TEST_F(ObsTest, MetricsJsonParsesBack) {
+  obs::count("json.counter", 5);
+  obs::set_gauge("json.gauge", 2.5);
+  obs::record_timer("json.timer", 0.125);
+  const obs::JsonValue doc = obs::parse_json(obs::metrics_json());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("json.counter").number, 5.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("json.gauge").number, 2.5);
+  const obs::JsonValue& timer = doc.at("timers").at("json.timer");
+  EXPECT_DOUBLE_EQ(timer.at("count").number, 1.0);
+  EXPECT_DOUBLE_EQ(timer.at("total_seconds").number, 0.125);
+}
+
+TEST_F(ObsTest, MetricsJsonIsValidWhenEmpty) {
+  const obs::JsonValue doc = obs::parse_json(obs::metrics_json());
+  EXPECT_TRUE(doc.at("counters").object.empty());
+  EXPECT_TRUE(doc.at("gauges").object.empty());
+  EXPECT_TRUE(doc.at("timers").object.empty());
+}
+
+TEST_F(ObsTest, SpanFeedsTimerMetricOfSameName) {
+  { obs::ScopedSpan span("span.timer"); }
+  const obs::Timer::Stats s = obs::MetricsRegistry::instance().timer("span.timer").stats();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GE(s.total_seconds, 0.0);
+}
+
+TEST_F(ObsTest, ConcurrentSpansKeepPerThreadNesting) {
+  obs::set_trace_enabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 200; ++i) {
+        obs::ScopedSpan outer("thread.outer");
+        obs::ScopedSpan inner("thread.inner");
+        if (obs::current_span_depth() != 2) std::abort();  // nesting is per-thread
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(obs::trace_event_count(), static_cast<std::size_t>(kThreads) * 400u);
+  // Every event must parse back out of the exporter.
+  const obs::JsonValue doc = obs::parse_json(obs::chrome_trace_json());
+  EXPECT_EQ(doc.at("traceEvents").array.size(), static_cast<std::size_t>(kThreads) * 400u);
+}
+
+TEST_F(ObsTest, LogLevelGating) {
+  obs::set_log_level(obs::LogLevel::kQuiet);
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kNormal));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kVerbose));
+  obs::set_log_level(obs::LogLevel::kNormal);
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kNormal));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kVerbose));
+  obs::set_log_level(obs::LogLevel::kVerbose);
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kVerbose));
+}
+
+TEST_F(ObsTest, JsonParserRejectsMalformedInput) {
+  EXPECT_THROW(obs::parse_json(""), ParseError);
+  EXPECT_THROW(obs::parse_json("{"), ParseError);
+  EXPECT_THROW(obs::parse_json("{\"a\":}"), ParseError);
+  EXPECT_THROW(obs::parse_json("[1,2,]"), ParseError);
+  EXPECT_THROW(obs::parse_json("{} trailing"), ParseError);
+  EXPECT_THROW(obs::parse_json("\"unterminated"), ParseError);
+  EXPECT_THROW(obs::parse_json("nul"), ParseError);
+}
+
+TEST_F(ObsTest, JsonParserRoundTripsEscapes) {
+  const obs::JsonValue doc =
+      obs::parse_json("{\"k\\n\\\"\": [true, false, null, -1.5e2, \"\\u0041\"]}");
+  const obs::JsonValue& arr = doc.at("k\n\"");
+  ASSERT_EQ(arr.array.size(), 5u);
+  EXPECT_TRUE(arr.array[0].boolean);
+  EXPECT_DOUBLE_EQ(arr.array[3].number, -150.0);
+  EXPECT_EQ(arr.array[4].string, "A");
+  EXPECT_EQ(obs::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+}  // namespace

@@ -17,11 +17,22 @@
 //
 //   irf_cli analyze --model MODEL.bin NETLIST.sp [--out MAP.csv]
 //       Restore a trained pipeline and run end-to-end analysis on a deck.
+//
+//   irf_cli json-check FILE.json
+//       Validate that FILE.json parses as JSON (used by CI to check the
+//       telemetry artifacts; exits non-zero on malformed input).
+//
+// Every subcommand additionally accepts the telemetry flags
+//   --trace-out FILE.json    write a Chrome trace-event file for the run
+//   --metrics-out FILE.json  write the metrics snapshot for the run
+// and honors IRF_TRACE / IRF_METRICS / IRF_LOG_LEVEL (docs/OBSERVABILITY.md).
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -30,6 +41,8 @@
 #include "common/rng.hpp"
 #include "core/pipeline.hpp"
 #include "features/extractor.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
 #include "pg/generator.hpp"
 #include "pg/solve.hpp"
 #include "spice/parser.hpp"
@@ -48,9 +61,32 @@ struct Args {
     auto it = flags.find(name);
     return it == flags.end() ? fallback : it->second;
   }
+  /// Integer flag with a usage-style error on non-numeric or out-of-range
+  /// values (std::stoi alone would escape as an uncaught exception).
   int flag_int(const std::string& name, int fallback) const {
     auto it = flags.find(name);
-    return it == flags.end() ? fallback : std::stoi(it->second);
+    if (it == flags.end()) return fallback;
+    const std::string& text = it->second;
+    std::size_t consumed = 0;
+    int value = 0;
+    try {
+      value = std::stoi(text, &consumed);
+    } catch (const std::exception&) {
+      throw ConfigError("flag --" + name + " expects an integer, got '" + text + "'");
+    }
+    if (consumed != text.size()) {
+      throw ConfigError("flag --" + name + " expects an integer, got '" + text + "'");
+    }
+    return value;
+  }
+  /// flag_int plus a lower bound (e.g. --px must be a positive pixel count).
+  int flag_int_at_least(const std::string& name, int fallback, int min_value) const {
+    const int value = flag_int(name, fallback);
+    if (value < min_value) {
+      throw ConfigError("flag --" + name + " must be >= " + std::to_string(min_value) +
+                        ", got " + std::to_string(value));
+    }
+    return value;
   }
   bool has(const std::string& name) const { return flags.count(name) > 0; }
 };
@@ -97,16 +133,16 @@ int cmd_generate(const Args& args) {
   const std::string out = args.flag("out");
   if (out.empty()) throw ConfigError("generate: --out DIR is required");
   ScaleConfig cfg = make_scale_config(Scale::kCi);
-  cfg.num_fake_designs = args.flag_int("fake", cfg.num_fake_designs);
-  cfg.num_real_designs = args.flag_int("real", cfg.num_real_designs);
-  cfg.image_size = args.flag_int("px", cfg.image_size);
+  cfg.num_fake_designs = args.flag_int_at_least("fake", cfg.num_fake_designs, 0);
+  cfg.num_real_designs = args.flag_int_at_least("real", cfg.num_real_designs, 0);
+  cfg.image_size = args.flag_int_at_least("px", cfg.image_size, 8);
   cfg.seed = static_cast<std::uint64_t>(args.flag_int("seed", 1));
-  std::cout << "generating " << cfg.num_fake_designs << " fake + "
-            << cfg.num_real_designs << " real designs at " << cfg.image_size
-            << " px...\n";
+  obs::info() << "generating " << cfg.num_fake_designs << " fake + "
+              << cfg.num_real_designs << " real designs at " << cfg.image_size
+              << " px...";
   train::DesignSet set = train::build_design_set(cfg);
   std::vector<std::string> dirs = train::export_design_set(set, out);
-  std::cout << "wrote " << dirs.size() << " design directories under " << out << "\n";
+  obs::info() << "wrote " << dirs.size() << " design directories under " << out;
   return 0;
 }
 
@@ -114,20 +150,24 @@ int cmd_solve(const Args& args) {
   if (args.positional.empty()) throw ConfigError("solve: need a netlist path");
   pg::PgDesign design = design_from_deck(args.positional[0], pg::DesignKind::kReal);
   pg::PgSolver solver(design);
-  const int iters = args.flag_int("iters", 0);
+  const int iters = args.flag_int_at_least("iters", 0, 0);
+  const int px = args.flag_int_at_least("px", 64, 1);
   pg::PgSolution sol = iters > 0 ? solver.solve_rough(iters) : solver.solve_golden();
+  // Rasterize the bottom-layer map for the hotspot summary (and --out).
+  const GridF map = features::label_map(design, sol, px);
   double worst = 0.0;
   for (double v : sol.ir_drop) worst = std::max(worst, v);
-  std::cout << design.netlist.num_nodes() << " nodes | "
-            << (iters > 0 ? "rough " + std::to_string(iters) + "-iteration"
-                          : "golden (" + std::to_string(sol.iterations) + " iterations)")
-            << " solve | worst IR drop " << worst * 1e3 << " mV\n";
+  obs::info() << design.netlist.num_nodes() << " nodes | "
+              << (iters > 0 ? "rough " + std::to_string(iters) + "-iteration"
+                            : "golden (" + std::to_string(sol.iterations) + " iterations)")
+              << " solve | worst IR drop " << worst * 1e3 << " mV";
+  obs::verbose() << "map hotspot (" << px << "x" << px << " px): " << map.max_value() * 1e3
+                 << " mV | setup " << sol.setup_seconds << " s | iterate "
+                 << sol.solve_seconds << " s";
   const std::string out = args.flag("out");
   if (!out.empty()) {
-    const int px = args.flag_int("px", 64);
-    write_csv(features::label_map(design, sol, px), out);
-    std::cout << "bottom-layer IR map (" << px << "x" << px << ") written to " << out
-              << "\n";
+    write_csv(map, out);
+    obs::info() << "bottom-layer IR map (" << px << "x" << px << ") written to " << out;
   }
   return 0;
 }
@@ -138,7 +178,7 @@ int cmd_train(const Args& args) {
   if (dir.empty() || out.empty()) {
     throw ConfigError("train: --designs DIR and --out MODEL.bin are required");
   }
-  const int px = args.flag_int("px", 32);
+  const int px = args.flag_int_at_least("px", 32, 8);
 
   std::vector<std::string> deck_dirs;
   for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
@@ -167,25 +207,25 @@ int cmd_train(const Args& args) {
       train_designs.push_back(std::move(p));
     }
   }
-  std::cout << "loaded " << train_designs.size() << " training designs, "
-            << held_out.size() << " held out\n";
+  obs::info() << "loaded " << train_designs.size() << " training designs, "
+              << held_out.size() << " held out";
 
   core::PipelineConfig pc;
   pc.image_size = px;
-  pc.epochs = args.flag_int("epochs", 5);
-  pc.rough_iterations = args.flag_int("iters", 3);
+  pc.epochs = args.flag_int_at_least("epochs", 5, 1);
+  pc.rough_iterations = args.flag_int_at_least("iters", 3, 1);
   pc.seed = static_cast<std::uint64_t>(args.flag_int("seed", 7));
   core::IrFusionPipeline pipeline(pc);
   train::TrainHistory hist = pipeline.fit(train_designs);
-  std::cout << "trained " << hist.epoch_loss.size() << " epochs in " << hist.seconds
-            << " s\n";
+  obs::info() << "trained " << hist.epoch_loss.size() << " epochs in " << hist.seconds
+              << " s";
   if (!held_out.empty()) {
     train::AggregateMetrics m = pipeline.evaluate(held_out);
-    std::cout << "held-out: MAE " << m.mae_1e4() << " x1e-4 V, F1 " << m.f1
-              << ", MIRDE " << m.mirde_1e4() << " x1e-4 V\n";
+    obs::info() << "held-out: MAE " << m.mae_1e4() << " x1e-4 V, F1 " << m.f1
+                << ", MIRDE " << m.mirde_1e4() << " x1e-4 V";
   }
   pipeline.save(out);
-  std::cout << "pipeline saved to " << out << "\n";
+  obs::info() << "pipeline saved to " << out;
   return 0;
 }
 
@@ -196,23 +236,64 @@ int cmd_analyze(const Args& args) {
   }
   core::IrFusionPipeline pipeline = core::IrFusionPipeline::load(model);
   pg::PgDesign design = design_from_deck(args.positional[0], pg::DesignKind::kReal);
-  GridF map = pipeline.analyze(design);
-  std::cout << "predicted worst IR drop: " << map.max_value() * 1e3 << " mV\n";
+  core::IrFusionPipeline::Diagnostics diag = pipeline.analyze_with_diagnostics(design);
+  obs::info() << "predicted worst IR drop: " << diag.prediction.max_value() * 1e3 << " mV";
+  obs::verbose() << "numerical stage " << diag.solve_seconds << " s | fusion stage "
+                 << diag.inference_seconds << " s (" << diag.rough_iterations
+                 << " rough iterations)";
   const std::string out = args.flag("out");
   if (!out.empty()) {
-    write_csv(map, out);
-    std::cout << "IR map written to " << out << "\n";
+    write_csv(diag.prediction, out);
+    obs::info() << "IR map written to " << out;
   }
   return 0;
 }
 
+int cmd_json_check(const Args& args) {
+  if (args.positional.empty()) throw ConfigError("json-check: need a file path");
+  const std::string& path = args.positional[0];
+  std::ifstream in(path);
+  if (!in) throw Error("json-check: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  obs::parse_json(text.str());  // throws ParseError on malformed input
+  obs::info() << path << ": valid JSON";
+  return 0;
+}
+
 void usage() {
-  std::cout << "usage: irf_cli <generate|solve|train|analyze> [options]\n"
+  std::cout << "usage: irf_cli <generate|solve|train|analyze|json-check> [options]\n"
             << "  generate --out DIR [--fake N] [--real M] [--px P] [--seed S]\n"
             << "  solve NETLIST.sp [--iters K] [--px P] [--out MAP.csv]\n"
             << "  train --designs DIR --out MODEL.bin [--epochs E] [--px P]"
                " [--iters K] [--seed S]\n"
-            << "  analyze --model MODEL.bin NETLIST.sp [--out MAP.csv]\n";
+            << "  analyze --model MODEL.bin NETLIST.sp [--out MAP.csv]\n"
+            << "  json-check FILE.json\n"
+            << "telemetry (any subcommand; see docs/OBSERVABILITY.md):\n"
+            << "  --trace-out FILE.json   write Chrome trace-event spans for the run\n"
+            << "  --metrics-out FILE.json write the metrics snapshot for the run\n"
+            << "  env: IRF_TRACE, IRF_METRICS, IRF_LOG_LEVEL=quiet|normal|verbose\n";
+}
+
+/// Apply --trace-out/--metrics-out before a subcommand runs.
+void begin_telemetry(const Args& args) {
+  obs::init_from_env();  // IRF_TRACE / IRF_METRICS / IRF_LOG_LEVEL
+  if (args.has("trace-out")) obs::set_trace_enabled(true);
+  if (args.has("metrics-out")) obs::set_metrics_enabled(true);
+}
+
+/// Export the artifacts the flags asked for once the subcommand finished.
+void end_telemetry(const Args& args) {
+  const std::string trace_out = args.flag("trace-out");
+  if (!trace_out.empty()) {
+    obs::write_chrome_trace(trace_out);
+    obs::info() << "trace written to " << trace_out;
+  }
+  const std::string metrics_out = args.flag("metrics-out");
+  if (!metrics_out.empty()) {
+    obs::write_metrics_json(metrics_out);
+    obs::info() << "metrics written to " << metrics_out;
+  }
 }
 
 }  // namespace
@@ -226,12 +307,19 @@ int main(int argc, char** argv) {
     }
     const std::string command = argv[1];
     const Args args = parse_args(argc, argv, 2);
-    if (command == "generate") return cmd_generate(args);
-    if (command == "solve") return cmd_solve(args);
-    if (command == "train") return cmd_train(args);
-    if (command == "analyze") return cmd_analyze(args);
-    usage();
-    return 2;
+    begin_telemetry(args);
+    int rc = 2;
+    if (command == "generate") rc = cmd_generate(args);
+    else if (command == "solve") rc = cmd_solve(args);
+    else if (command == "train") rc = cmd_train(args);
+    else if (command == "analyze") rc = cmd_analyze(args);
+    else if (command == "json-check") rc = cmd_json_check(args);
+    else {
+      usage();
+      return 2;
+    }
+    end_telemetry(args);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "irf_cli: " << e.what() << "\n";
     return 1;
