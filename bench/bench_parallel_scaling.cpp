@@ -1,0 +1,166 @@
+// Thread-scaling benchmark for the irf::par runtime: times the parallelised
+// solver kernels (SpMV, AMG-PCG rough solve) and NN kernels (conv2d forward,
+// forward+backward) at pool widths 1/2/4 and writes BENCH_parallel_scaling.json
+// with one entry per (kernel, threads) pair. Pass --quick for CI-sized inputs.
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "nn/ops.hpp"
+#include "nn/tensor.hpp"
+#include "obs/json.hpp"
+#include "par/par.hpp"
+#include "pg/generator.hpp"
+#include "pg/mna.hpp"
+#include "solver/amg_pcg.hpp"
+
+namespace {
+
+using namespace irf;
+
+struct Entry {
+  std::string name;
+  int threads = 1;
+  int reps = 1;
+  double seconds_per_rep = 0.0;
+};
+
+/// Best-of-`reps` wall time for one call of `fn` (best-of filters scheduler
+/// noise better than the mean on a loaded machine).
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  Stopwatch sw;
+  for (int r = 0; r < reps; ++r) {
+    sw.reset();
+    fn();
+    best = std::min(best, sw.seconds());
+  }
+  return best;
+}
+
+struct Sizes {
+  int solver_px = 96;
+  int rough_iters = 8;
+  int conv_batch = 2;
+  int conv_channels = 32;
+  int conv_px = 64;
+  int reps = 5;
+};
+
+struct ConvInputs {
+  nn::Tensor x, w, b;
+};
+
+ConvInputs conv_inputs(const Sizes& sz, bool requires_grad) {
+  Rng rng(321);
+  const nn::Shape xs{sz.conv_batch, sz.conv_channels, sz.conv_px, sz.conv_px};
+  const nn::Shape ws{sz.conv_channels, sz.conv_channels, 3, 3};
+  std::vector<float> xd(static_cast<std::size_t>(xs.numel()));
+  std::vector<float> wd(static_cast<std::size_t>(ws.numel()));
+  std::vector<float> bd(static_cast<std::size_t>(sz.conv_channels));
+  for (float& v : xd) v = static_cast<float>(rng.normal());
+  for (float& v : wd) v = static_cast<float>(rng.normal()) * 0.1f;
+  for (float& v : bd) v = static_cast<float>(rng.normal()) * 0.1f;
+  return ConvInputs{nn::Tensor::from_data(xs, xd, requires_grad),
+                    nn::Tensor::from_data(ws, wd, requires_grad),
+                    nn::Tensor::from_data({1, sz.conv_channels, 1, 1}, bd, requires_grad)};
+}
+
+void run_kernels(const Sizes& sz, const pg::MnaSystem& sys, int threads,
+                 std::vector<Entry>& out) {
+  par::set_num_threads(threads);
+
+  {
+    linalg::Vec x(static_cast<std::size_t>(sys.conductance.rows()), 1.0);
+    linalg::Vec y;
+    // SpMV is fast; amortise timer overhead over an inner loop.
+    const int inner = 50;
+    const double s = best_of(sz.reps, [&] {
+      for (int i = 0; i < inner; ++i) sys.conductance.multiply(x, y);
+    });
+    out.push_back({"spmv", threads, sz.reps, s / inner});
+  }
+
+  {
+    solver::AmgPcgSolver solver(sys.conductance);
+    const double s = best_of(sz.reps, [&] {
+      solver::SolveResult r = solver.solve_rough(sys.rhs, sz.rough_iters);
+      if (r.x.empty()) std::abort();  // keep the solve observable
+    });
+    out.push_back({"rough_solve", threads, sz.reps, s});
+  }
+
+  {
+    const ConvInputs in = conv_inputs(sz, /*requires_grad=*/false);
+    const double s = best_of(sz.reps, [&] {
+      nn::Tensor y = nn::conv2d(in.x, in.w, in.b);
+      if (y.data().empty()) std::abort();
+    });
+    out.push_back({"conv2d_fwd", threads, sz.reps, s});
+  }
+
+  {
+    const double s = best_of(sz.reps, [&] {
+      ConvInputs in = conv_inputs(sz, /*requires_grad=*/true);
+      nn::Tensor y = nn::conv2d(in.x, in.w, in.b);
+      nn::Tensor loss = nn::mse_loss(y, nn::Tensor::zeros(y.shape()));
+      loss.backward();
+      if (in.w.grad().empty()) std::abort();
+    });
+    out.push_back({"conv2d_fwd_bwd", threads, sz.reps, s});
+  }
+}
+
+void write_json(const std::vector<Entry>& entries) {
+  std::ofstream f("BENCH_parallel_scaling.json");
+  f << "{\n  \"bench\": \"parallel_scaling\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    f << "    {\"name\": \"" << obs::json_escape(e.name) << "\""
+      << ", \"threads\": " << e.threads << ", \"reps\": " << e.reps
+      << ", \"seconds_per_rep\": " << obs::json_number(e.seconds_per_rep) << "}"
+      << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Sizes sz;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      sz = Sizes{32, 4, 1, 16, 16, 2};
+    } else {
+      std::cerr << "usage: bench_parallel_scaling [--quick]\n";
+      return 1;
+    }
+  }
+
+  Rng rng(2000 + sz.solver_px);
+  pg::PgDesign design = pg::generate_fake_design(sz.solver_px, rng, "scaling");
+  pg::MnaSystem sys = pg::assemble_mna(design.netlist);
+
+  std::vector<Entry> entries;
+  for (int threads : {1, 2, 4}) run_kernels(sz, sys, threads, entries);
+  write_json(entries);
+
+  std::cout << "kernel            threads   seconds/rep   speedup_vs_1t\n";
+  for (const Entry& e : entries) {
+    double base = e.seconds_per_rep;
+    for (const Entry& b : entries) {
+      if (b.name == e.name && b.threads == 1) base = b.seconds_per_rep;
+    }
+    std::printf("%-17s %7d %13.6f %15.2fx\n", e.name.c_str(), e.threads,
+                e.seconds_per_rep, base / e.seconds_per_rep);
+  }
+  std::cout << "wrote BENCH_parallel_scaling.json\n";
+  return 0;
+}

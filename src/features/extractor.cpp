@@ -10,6 +10,7 @@
 #include "features/scatter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/par.hpp"
 #include "spice/topology.hpp"
 
 namespace irf::features {
@@ -81,6 +82,20 @@ void append(FeatureStack& stack, std::vector<GridF> maps,
   }
 }
 
+/// Rasterize one map per layer concurrently (each layer's scatter is
+/// independent, so the pool fans out over layers with one chunk per layer).
+std::vector<GridF> scatter_per_layer(const std::vector<std::vector<SamplePoint>>& pts,
+                                     int size, ScatterMode mode) {
+  std::vector<GridF> maps(pts.size(), GridF(size, size, 0.0f));
+  par::parallel_for(0, static_cast<std::int64_t>(pts.size()), 1,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t l = lo; l < hi; ++l) {
+                        maps[l] = scatter_to_grid(pts[l], size, size, mode);
+                      }
+                    });
+  return maps;
+}
+
 }  // namespace
 
 std::vector<double> shortest_path_resistance(const PgDesign& design) {
@@ -146,10 +161,7 @@ FeatureStack extract_features(const PgDesign& design, const PgSolution* rough,
       pts[layer_of.at(coords->layer)].push_back(
           {mapper.px(coords->x_nm), mapper.py(coords->y_nm), rough->ir_drop[id]});
     }
-    std::vector<GridF> maps;
-    for (int l = 0; l < num_layers; ++l) {
-      maps.push_back(scatter_to_grid(pts[l], size, size, ScatterMode::kAverage));
-    }
+    std::vector<GridF> maps = scatter_per_layer(pts, size, ScatterMode::kAverage);
     if (options.hierarchical) {
       append(stack, std::move(maps), layer_names, "num_ir", true, false);
     } else {
@@ -193,13 +205,15 @@ FeatureStack extract_features(const PgDesign& design, const PgSolution* rough,
       load_pts.push_back({mapper.px(c->x_nm), mapper.py(c->y_nm), i.amps});
     }
     GridF total = scatter_to_grid(load_pts, size, size, ScatterMode::kSum);
-    std::vector<GridF> maps;
-    for (int l = 0; l < num_layers; ++l) {
-      GridF m = total;
-      const float share = static_cast<float>(layer_conductance[l] / total_conductance);
-      for (float& v : m.data()) v *= share;
-      maps.push_back(std::move(m));
-    }
+    std::vector<GridF> maps(static_cast<std::size_t>(num_layers), GridF(size, size, 0.0f));
+    par::parallel_for(0, num_layers, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t l = lo; l < hi; ++l) {
+        GridF m = total;
+        const float share = static_cast<float>(layer_conductance[l] / total_conductance);
+        for (float& v : m.data()) v *= share;
+        maps[l] = std::move(m);
+      }
+    });
     append(stack, std::move(maps), layer_names, "current", options.hierarchical, true);
   }
 
@@ -212,16 +226,20 @@ FeatureStack extract_features(const PgDesign& design, const PgSolution* rough,
       if (c) pad_px.emplace_back(mapper.px(c->x_nm), mapper.py(c->y_nm));
     }
     GridF eff(size, size, 0.0f);
-    for (int y = 0; y < size; ++y) {
-      for (int x = 0; x < size; ++x) {
-        double inv_sum = 0.0;
-        for (const auto& [px, py] : pad_px) {
-          const double d = std::max(0.5, std::hypot(x - px, y - py));
-          inv_sum += 1.0 / d;
+    // Each pixel row is independent; this O(size^2 * pads) loop is the most
+    // expensive structural map, so it gets its own row fan-out.
+    par::parallel_for(0, size, 4, [&](std::int64_t ylo, std::int64_t yhi) {
+      for (int y = static_cast<int>(ylo); y < yhi; ++y) {
+        for (int x = 0; x < size; ++x) {
+          double inv_sum = 0.0;
+          for (const auto& [px, py] : pad_px) {
+            const double d = std::max(0.5, std::hypot(x - px, y - py));
+            inv_sum += 1.0 / d;
+          }
+          eff(y, x) = inv_sum > 0.0 ? static_cast<float>(1.0 / inv_sum) : 0.0f;
         }
-        eff(y, x) = inv_sum > 0.0 ? static_cast<float>(1.0 / inv_sum) : 0.0f;
       }
-    }
+    });
     stack.channels.push_back(std::move(eff));
     stack.names.push_back("eff_dist");
   }
@@ -241,10 +259,7 @@ FeatureStack extract_features(const PgDesign& design, const PgSolution* rough,
       pts[layer_of.at(coords->layer)].push_back(
           {mapper.px(coords->x_nm), mapper.py(coords->y_nm), spr[id]});
     }
-    std::vector<GridF> maps;
-    for (int l = 0; l < num_layers; ++l) {
-      maps.push_back(scatter_to_grid(pts[l], size, size, ScatterMode::kAverage));
-    }
+    std::vector<GridF> maps = scatter_per_layer(pts, size, ScatterMode::kAverage);
     append(stack, std::move(maps), layer_names, "sp_resistance", options.hierarchical,
            false);
   }

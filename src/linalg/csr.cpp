@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "par/par.hpp"
 
 namespace irf::linalg {
 
@@ -38,14 +39,15 @@ CsrMatrix CsrMatrix::from_triplets(const TripletBuilder& builder) {
     for (int k = counts[r]; k < counts[r + 1]; ++k) row_entries.emplace_back(cols[k], vals[k]);
     std::sort(row_entries.begin(), row_entries.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (std::size_t i = 0; i < row_entries.size(); ++i) {
-      if (!m.col_idx_.empty() && m.row_ptr_[r] < static_cast<int>(m.col_idx_.size()) &&
-          m.col_idx_.back() == row_entries[i].first &&
-          static_cast<int>(m.col_idx_.size()) > m.row_ptr_[r]) {
-        m.values_.back() += row_entries[i].second;  // duplicate: accumulate
+    for (const auto& [col, value] : row_entries) {
+      // Duplicate iff this row already emitted an entry with the same column
+      // (entries are sorted, so only the last one can match).
+      const bool row_has_prev = static_cast<int>(m.col_idx_.size()) > m.row_ptr_[r];
+      if (row_has_prev && m.col_idx_.back() == col) {
+        m.values_.back() += value;
       } else {
-        m.col_idx_.push_back(row_entries[i].first);
-        m.values_.push_back(row_entries[i].second);
+        m.col_idx_.push_back(col);
+        m.values_.push_back(value);
       }
     }
     m.row_ptr_[r + 1] = static_cast<int>(m.col_idx_.size());
@@ -65,11 +67,13 @@ void CsrMatrix::multiply(const Vec& x, Vec& y) const {
                          std::to_string(cols_));
   }
   y.assign(static_cast<std::size_t>(rows_), 0.0);
-  for (int r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) s += values_[k] * x[col_idx_[k]];
-    y[r] = s;
-  }
+  par::parallel_for(0, rows_, par::kRowGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      double s = 0.0;
+      for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) s += values_[k] * x[col_idx_[k]];
+      y[r] = s;
+    }
+  });
 }
 
 Vec CsrMatrix::multiply(const Vec& x) const {

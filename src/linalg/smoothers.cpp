@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "par/par.hpp"
 
 namespace irf::linalg {
 
@@ -17,18 +18,25 @@ void check_sizes(const CsrMatrix& a, const Vec& b, const Vec& x) {
 
 void jacobi_sweep(const CsrMatrix& a, const Vec& b, Vec& x, double omega) {
   check_sizes(a, b, x);
+  // Jacobi reads the old iterate everywhere, so rows update independently:
+  // this is the parallel-safe relaxation (Gauss-Seidel below is sequential
+  // by construction). The residual SpMV parallelizes inside multiply().
   Vec r = subtract(b, a.multiply(x));
   const auto& rp = a.row_ptr();
   const auto& ci = a.col_idx();
   const auto& v = a.values();
-  for (int i = 0; i < a.rows(); ++i) {
-    double diag = 0.0;
-    for (int k = rp[i]; k < rp[i + 1]; ++k) {
-      if (ci[k] == i) diag = v[k];
+  par::parallel_for(0, a.rows(), par::kRowGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      double diag = 0.0;
+      for (int k = rp[i]; k < rp[i + 1]; ++k) {
+        if (ci[k] == i) diag = v[k];
+      }
+      if (diag == 0.0) {
+        throw NumericError("jacobi: zero diagonal at row " + std::to_string(i));
+      }
+      x[i] += omega * r[i] / diag;
     }
-    if (diag == 0.0) throw NumericError("jacobi: zero diagonal at row " + std::to_string(i));
-    x[i] += omega * r[i] / diag;
-  }
+  });
 }
 
 namespace {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "par/par.hpp"
 
 namespace irf::linalg {
 
@@ -18,37 +19,61 @@ void check_same_size(const Vec& a, const Vec& b, const char* op) {
 
 double dot(const Vec& a, const Vec& b) {
   check_same_size(a, b, "dot");
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  // Chunked deterministic reduction: the partial layout depends only on the
+  // grain, so the result is bit-identical for any IRF_THREADS.
+  return par::parallel_reduce(
+      0, static_cast<std::int64_t>(a.size()), par::kReduceGrain, 0.0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        double s = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) s += a[i] * b[i];
+        return s;
+      },
+      [](double x, double y) { return x + y; });
 }
 
 double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
 
 double norm_inf(const Vec& a) {
-  double m = 0.0;
-  for (double v : a) m = std::max(m, std::abs(v));
-  return m;
+  return par::parallel_reduce(
+      0, static_cast<std::int64_t>(a.size()), par::kReduceGrain, 0.0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        double m = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) m = std::max(m, std::abs(a[i]));
+        return m;
+      },
+      [](double x, double y) { return std::max(x, y); });
 }
 
 void axpy(double alpha, const Vec& x, Vec& y) {
   check_same_size(x, y, "axpy");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  par::parallel_for(0, static_cast<std::int64_t>(x.size()), par::kVecGrain,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
+                    });
 }
 
 void xpby(const Vec& x, double beta, Vec& y) {
   check_same_size(x, y, "xpby");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+  par::parallel_for(0, static_cast<std::int64_t>(x.size()), par::kVecGrain,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) y[i] = x[i] + beta * y[i];
+                    });
 }
 
 void scale(Vec& a, double alpha) {
-  for (double& v : a) v *= alpha;
+  par::parallel_for(0, static_cast<std::int64_t>(a.size()), par::kVecGrain,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) a[i] *= alpha;
+                    });
 }
 
 Vec subtract(const Vec& a, const Vec& b) {
   check_same_size(a, b, "subtract");
   Vec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  par::parallel_for(0, static_cast<std::int64_t>(a.size()), par::kVecGrain,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) out[i] = a[i] - b[i];
+                    });
   return out;
 }
 

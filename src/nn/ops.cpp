@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "par/par.hpp"
 
 namespace irf::nn {
 
@@ -30,7 +31,12 @@ Tensor elementwise_binary(const Tensor& a, const Tensor& b, const char* name, Fw
                           Bwd bwd) {
   check_same_shape(a, b, name);
   std::vector<float> out(a.data().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fwd(a.data()[i], b.data()[i]);
+  par::parallel_for(0, static_cast<std::int64_t>(out.size()), par::kVecGrain * 8,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        out[i] = fwd(a.data()[i], b.data()[i]);
+                      }
+                    });
   NodePtr an = a.node();
   NodePtr bn = b.node();
   return make_op_result(a.shape(), std::move(out), {an, bn}, [an, bn, bwd](Node& self) {
@@ -48,7 +54,10 @@ Tensor elementwise_binary(const Tensor& a, const Tensor& b, const char* name, Fw
 template <typename Fwd, typename Bwd>
 Tensor elementwise_unary(const Tensor& a, Fwd fwd, Bwd bwd) {
   std::vector<float> out(a.data().size());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fwd(a.data()[i]);
+  par::parallel_for(0, static_cast<std::int64_t>(out.size()), par::kVecGrain * 8,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) out[i] = fwd(a.data()[i]);
+                    });
   NodePtr an = a.node();
   return make_op_result(a.shape(), std::move(out), {an}, [an, bwd](Node& self) {
     an->ensure_grad();
@@ -134,10 +143,24 @@ struct ConvGeom {
   int patch;  ///< Cin * kh * kw (the im2col row count)
 };
 
+/// Work in a kernel small enough that forking the pool costs more than the
+/// loop itself; such calls run inline (the grain covers the whole range).
+constexpr std::int64_t kParThreshold = 1 << 20;
+
+/// Grain selector: chunked (grain 1) for big work, inline otherwise.
+std::int64_t conv_grain(std::int64_t range, std::int64_t work) {
+  return work >= kParThreshold ? 1 : range;
+}
+
 /// im2col: expand one sample's receptive fields into a [patch, oh*ow] matrix.
+/// Parallel over input channels: channel ci owns rows [ci*kh*kw, (ci+1)*kh*kw)
+/// of the col matrix, so chunks write disjoint memory.
 void im2col(const float* x, const ConvGeom& g, int n, float* col) {
   const int plane = g.os.h * g.os.w;
-  for (int ci = 0; ci < g.xs.c; ++ci) {
+  par::parallel_for(
+      0, g.xs.c, conv_grain(g.xs.c, static_cast<std::int64_t>(g.patch) * plane),
+      [&](std::int64_t clo, std::int64_t chi) {
+  for (int ci = static_cast<int>(clo); ci < chi; ++ci) {
     for (int ky = 0; ky < g.ws.h; ++ky) {
       for (int kx = 0; kx < g.ws.w; ++kx) {
         float* row = col + ((ci * g.ws.h + ky) * g.ws.w + kx) * static_cast<std::size_t>(plane);
@@ -156,12 +179,18 @@ void im2col(const float* x, const ConvGeom& g, int n, float* col) {
       }
     }
   }
+      });
 }
 
 /// col2im: scatter-add a [patch, oh*ow] gradient matrix back into x-grad.
+/// Parallel over input channels: channel ci only touches x-grad plane ci,
+/// so the overlapping (ky, kx) scatter windows stay within one chunk.
 void col2im_add(const float* col, const ConvGeom& g, int n, float* xg) {
   const int plane = g.os.h * g.os.w;
-  for (int ci = 0; ci < g.xs.c; ++ci) {
+  par::parallel_for(
+      0, g.xs.c, conv_grain(g.xs.c, static_cast<std::int64_t>(g.patch) * plane),
+      [&](std::int64_t clo, std::int64_t chi) {
+  for (int ci = static_cast<int>(clo); ci < chi; ++ci) {
     for (int ky = 0; ky < g.ws.h; ++ky) {
       for (int kx = 0; kx < g.ws.w; ++kx) {
         const float* row =
@@ -178,50 +207,82 @@ void col2im_add(const float* col, const ConvGeom& g, int n, float* xg) {
       }
     }
   }
+      });
 }
 
-/// C[m,n] += A[m,k] * B[k,n], row-major, ikj loop order (streams B).
+// Cache blocking for the GEMM kernels: the inner j loop streams a B panel
+// that fits in L1/L2 while A values stay in registers. Within every block
+// the k index (p) still ascends, so each C element accumulates its products
+// in exactly the old ikj order — blocking changes locality, not bits.
+constexpr int kBlockN = 256;  ///< columns of B per panel
+constexpr int kBlockK = 128;  ///< rows of B per panel
+
+/// Rows [i0, i1) of C[m,n] += A[m,k] * B[k,n], row-major, blocked.
+void gemm_rows(const float* a, const float* b, float* c, std::int64_t i0,
+               std::int64_t i1, int k, int n) {
+  for (int pc = 0; pc < k; pc += kBlockK) {
+    const int pe = std::min(k, pc + kBlockK);
+    for (int jc = 0; jc < n; jc += kBlockN) {
+      const int je = std::min(n, jc + kBlockN);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float* arow = a + static_cast<std::size_t>(i) * k;
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        for (int p = pc; p < pe; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b + static_cast<std::size_t>(p) * n;
+          for (int j = jc; j < je; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+/// C[m,n] += A[m,k] * B[k,n]. Rows of C are independent, so the pool splits
+/// the i range; each chunk runs the blocked kernel over its rows.
 void gemm_accumulate(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* crow = c + static_cast<std::size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + static_cast<std::size_t>(p) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  const std::int64_t work = 2ll * m * k * n;
+  par::parallel_for(0, m, conv_grain(m, work), [&](std::int64_t lo, std::int64_t hi) {
+    gemm_rows(a, b, c, lo, hi, k, n);
+  });
 }
 
-/// C[m,n] += A^T[m,k] * B[k,n] where A is stored [k,m].
+/// C[m,n] += A^T[m,k] * B[k,n] where A is stored [k,m]. Output row i reads
+/// column i of A; iterating i outermost keeps writes disjoint per chunk and
+/// preserves the ascending-p accumulation order of the old kernel.
 void gemm_at_b_accumulate(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int p = 0; p < k; ++p) {
-    const float* arow = a + static_cast<std::size_t>(p) * m;
-    const float* brow = b + static_cast<std::size_t>(p) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
+  const std::int64_t work = 2ll * m * k * n;
+  par::parallel_for(0, m, conv_grain(m, work), [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
       float* crow = c + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (int p = 0; p < k; ++p) {
+        const float av = a[static_cast<std::size_t>(p) * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<std::size_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
-/// C[m,n] += A[k,m]^T... specifically dW-style: C[m,k] += B[m,n] * colT[n,k]
-/// expressed as: for dW = dY [Cout, plane] x col^T [plane, patch]:
+/// dW-style: dW[Cout, patch] += dY[Cout, plane] x col^T[plane, patch].
+/// Each output row i belongs to one chunk, so the += into dw never races.
 void gemm_b_ct_accumulate(const float* dy, const float* col, float* dw, int cout,
                           int plane, int patch) {
-  for (int i = 0; i < cout; ++i) {
-    const float* dyrow = dy + static_cast<std::size_t>(i) * plane;
-    float* dwrow = dw + static_cast<std::size_t>(i) * patch;
-    for (int p = 0; p < patch; ++p) {
-      const float* colrow = col + static_cast<std::size_t>(p) * plane;
-      float acc = 0.0f;
-      for (int j = 0; j < plane; ++j) acc += dyrow[j] * colrow[j];
-      dwrow[p] += acc;
+  const std::int64_t work = 2ll * cout * plane * patch;
+  par::parallel_for(0, cout, conv_grain(cout, work),
+                    [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float* dyrow = dy + static_cast<std::size_t>(i) * plane;
+      float* dwrow = dw + static_cast<std::size_t>(i) * patch;
+      for (int p = 0; p < patch; ++p) {
+        const float* colrow = col + static_cast<std::size_t>(p) * plane;
+        float acc = 0.0f;
+        for (int j = 0; j < plane; ++j) acc += dyrow[j] * colrow[j];
+        dwrow[p] += acc;
+      }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -750,12 +811,20 @@ Tensor reduction_loss(const Tensor& pred, const Tensor& target, const Tensor* we
   check_same_shape(pred, target, "loss");
   if (weight) check_same_shape(pred, *weight, "loss weight");
   const std::size_t n = pred.data().size();
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double d = static_cast<double>(pred.data()[i]) - target.data()[i];
-    const double w = weight ? weight->data()[i] : 1.0;
-    acc += w * (squared ? d * d : std::abs(d));
-  }
+  // Deterministic chunked sum (see par::parallel_reduce): per-sample loss
+  // accumulation parallelizes without changing bits across thread counts.
+  const double acc = par::parallel_reduce(
+      0, static_cast<std::int64_t>(n), par::kReduceGrain, 0.0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        double s = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const double d = static_cast<double>(pred.data()[i]) - target.data()[i];
+          const double w = weight ? weight->data()[i] : 1.0;
+          s += w * (squared ? d * d : std::abs(d));
+        }
+        return s;
+      },
+      [](double x, double y) { return x + y; });
   const float inv = 1.0f / static_cast<float>(n);
   std::vector<float> out{static_cast<float>(acc / static_cast<double>(n))};
   NodePtr pn = pred.node();

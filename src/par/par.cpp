@@ -1,0 +1,254 @@
+#include "par/par.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace irf::par {
+
+namespace {
+
+/// Set while a thread is executing chunks of some parallel region (workers
+/// for their whole job, the caller while it participates). Nested parallel
+/// calls from such a thread run inline.
+thread_local bool t_in_parallel = false;
+
+/// The process-wide pool. Workers block on a condition variable between
+/// jobs; a job is broadcast by bumping `generation`. The calling thread
+/// participates in chunk execution, so `n` threads means `n - 1` workers.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool* pool = new Pool();  // leaked: workers may outlive statics
+    return *pool;
+  }
+
+  int threads() {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    return configured_;
+  }
+
+  void configure(int n) {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    configure_locked(n);
+  }
+
+  void join_workers() {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    stop_workers_locked();
+  }
+
+  /// Ensure the worker threads for the configured width exist (they are
+  /// joined by shutdown() and lazily re-spawned here).
+  void ensure_workers() {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    spawn_locked(configured_);
+  }
+
+  void run(detail::RangeFn fn, void* ctx, std::int64_t begin, std::int64_t end,
+           std::int64_t grain, std::int64_t nchunks) {
+    ensure_workers();
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(job_mutex_);
+      fn_ = fn;
+      ctx_ = ctx;
+      begin_ = begin;
+      end_ = end;
+      grain_ = grain;
+      nchunks_ = nchunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      error_ = nullptr;
+      active_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
+      ++generation_;
+      work_cv_.notify_all();
+      lock.unlock();
+
+      // The caller is a full participant: it drains chunks alongside the
+      // workers, then waits for the stragglers.
+      t_in_parallel = true;
+      drain_chunks(/*worker=*/false);
+      t_in_parallel = false;
+
+      lock.lock();
+      done_cv_.wait(lock, [&] { return active_.load(std::memory_order_acquire) == 0; });
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  Pool() = default;
+
+  void configure_locked(int n) {
+    if (n < 1) throw ConfigError("thread pool width must be >= 1");
+    stop_workers_locked();
+    configured_ = n;
+    obs::set_gauge("par.threads", static_cast<double>(n));
+  }
+
+  void spawn_locked(int n) {
+    if (static_cast<int>(workers_.size()) == n - 1) return;
+    stop_workers_locked();
+    std::uint64_t baseline;
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      stop_ = false;
+      // Capture the generation the workers consider "already seen" while
+      // holding the job mutex: any job issued later must bump it first, so
+      // a freshly spawned worker can never mistake that job for an old one.
+      baseline = generation_;
+    }
+    for (int i = 0; i < n - 1; ++i) {
+      workers_.emplace_back([this, baseline] { worker_loop(baseline); });
+    }
+  }
+
+  void stop_workers_locked() {
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      stop_ = true;
+      ++generation_;
+      work_cv_.notify_all();
+    }
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  void worker_loop(std::uint64_t seen_generation) {
+    t_in_parallel = true;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(job_mutex_);
+        work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+        if (stop_) return;
+        seen_generation = generation_;
+      }
+      drain_chunks(/*worker=*/true);
+      if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(job_mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void drain_chunks(bool worker) {
+    for (;;) {
+      const std::int64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks_) return;
+      const std::int64_t b = begin_ + c * grain_;
+      const std::int64_t e = std::min(end_, b + grain_);
+      try {
+        if (worker && obs::trace_enabled()) {
+          obs::ScopedSpan span("par_chunk", "par");
+          span.add_arg("chunk", static_cast<double>(c));
+          fn_(ctx_, b, e);
+        } else {
+          fn_(ctx_, b, e);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!error_) error_ = std::current_exception();
+        // Cancel the chunks nobody claimed yet; in-flight ones finish.
+        next_chunk_.store(nchunks_, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Configuration (guards the worker vector; never held during a job).
+  std::mutex config_mutex_;
+  int configured_ = 1;
+  std::vector<std::thread> workers_;
+
+  // Job broadcast state.
+  std::mutex job_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  detail::RangeFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::int64_t begin_ = 0;
+  std::int64_t end_ = 0;
+  std::int64_t grain_ = 1;
+  std::int64_t nchunks_ = 0;
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::atomic<int> active_{0};
+
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+};
+
+std::atomic<int> g_num_threads{0};  // 0 = not yet resolved from IRF_THREADS
+
+int resolve_num_threads() {
+  int n = g_num_threads.load(std::memory_order_acquire);
+  if (n > 0) return n;
+  n = parse_threads_env(std::getenv("IRF_THREADS"));
+  int expected = 0;
+  if (g_num_threads.compare_exchange_strong(expected, n, std::memory_order_acq_rel)) {
+    Pool::instance().configure(n);
+    return n;
+  }
+  return expected;
+}
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int num_threads() { return resolve_num_threads(); }
+
+void set_num_threads(int n) {
+  if (n < 1) throw ConfigError("set_num_threads: thread count must be >= 1, got " +
+                               std::to_string(n));
+  Pool::instance().configure(n);
+  g_num_threads.store(n, std::memory_order_release);
+}
+
+void shutdown() { Pool::instance().join_workers(); }
+
+int parse_threads_env(const char* value) {
+  if (value == nullptr || *value == '\0') return hardware_threads();
+  char* end = nullptr;
+  const long n = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || n < 0 || n > 4096) {
+    throw ConfigError(std::string("IRF_THREADS must be a small non-negative integer, "
+                                  "got '") +
+                      value + "'");
+  }
+  return n == 0 ? hardware_threads() : static_cast<int>(n);
+}
+
+namespace detail {
+
+void parallel_for_impl(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                       RangeFn fn, void* ctx) {
+  if (end <= begin) return;
+  const std::int64_t n = end - begin;
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+  // Resolve the width even on the inline path so IRF_THREADS is validated
+  // and the par.threads gauge is registered on the first parallel call.
+  const int threads = num_threads();
+  if (n <= g || t_in_parallel || threads == 1) {
+    fn(ctx, begin, end);
+    return;
+  }
+  const std::int64_t nchunks = (n + g - 1) / g;
+  Pool::instance().run(fn, ctx, begin, end, g, nchunks);
+}
+
+}  // namespace detail
+
+}  // namespace irf::par

@@ -55,6 +55,16 @@ void AmgHierarchy::apply(const Vec& r, Vec& z) {
   cycle(0, r, z);
 }
 
+void AmgHierarchy::smooth(const CsrMatrix& a, const Vec& r, Vec& z, int sweeps) {
+  for (int s = 0; s < sweeps; ++s) {
+    if (options_.smoother == SmootherType::kJacobi) {
+      linalg::jacobi_sweep(a, r, z, options_.jacobi_omega);
+    } else {
+      linalg::symmetric_gauss_seidel(a, r, z);
+    }
+  }
+}
+
 void AmgHierarchy::cycle(int level, const Vec& r, Vec& z) {
   const CsrMatrix& a = levels_[level].matrix;
   if (!levels_[level].to_coarse.has_value()) {
@@ -62,7 +72,7 @@ void AmgHierarchy::cycle(int level, const Vec& r, Vec& z) {
     return;
   }
   z.assign(r.size(), 0.0);
-  for (int s = 0; s < options_.pre_smooth; ++s) linalg::symmetric_gauss_seidel(a, r, z);
+  smooth(a, r, z, options_.pre_smooth);
 
   // Restrict the residual and recurse.
   Vec residual = linalg::subtract(r, a.multiply(z));
@@ -73,7 +83,7 @@ void AmgHierarchy::cycle(int level, const Vec& r, Vec& z) {
   coarse_correction(level + 1, rc, ec);
   prolongate_add(agg, ec, z);
 
-  for (int s = 0; s < options_.post_smooth; ++s) linalg::symmetric_gauss_seidel(a, r, z);
+  smooth(a, r, z, options_.post_smooth);
 }
 
 void AmgHierarchy::coarse_correction(int coarse_level, const Vec& rc, Vec& ec) {

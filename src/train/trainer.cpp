@@ -8,6 +8,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/par.hpp"
 
 namespace irf::train {
 
@@ -93,12 +94,22 @@ AggregateMetrics evaluate_model(models::IrModel& model, const std::vector<Sample
                                 double extra_runtime_per_design) {
   if (samples.empty()) throw ConfigError("evaluate_model: empty sample list");
   model.set_training(false);
-  std::vector<MapMetrics> per_design;
   obs::ScopedSpan span("evaluate_model", "train");
+  // Inference stays sequential (the conv kernels already fan out inside one
+  // forward pass, and module state is not thread-safe); the per-sample map
+  // metrics have no shared state, so they fan out one sample per chunk.
+  std::vector<GridF> preds;
+  preds.reserve(samples.size());
   for (const Sample& sample : samples) {
-    GridF pred = predict_volts(model, sample, view, normalizer);
-    per_design.push_back(evaluate_map(pred, sample.label));
+    preds.push_back(predict_volts(model, sample, view, normalizer));
   }
+  std::vector<MapMetrics> per_design(samples.size());
+  par::parallel_for(0, static_cast<std::int64_t>(samples.size()), 1,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        per_design[i] = evaluate_map(preds[i], samples[i].label);
+                      }
+                    });
   AggregateMetrics agg = aggregate(per_design);
   agg.runtime_seconds =
       span.seconds() / static_cast<double>(samples.size()) + extra_runtime_per_design;

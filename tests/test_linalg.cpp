@@ -76,6 +76,41 @@ TEST(CsrMatrix, DuplicatesAccumulate) {
   EXPECT_EQ(m.nnz(), 2u);
 }
 
+TEST(CsrMatrix, DuplicateTripletsInFirstAndLastRows) {
+  TripletBuilder b(3, 3);
+  // First row: duplicates at its very first entry (the merge test must not
+  // rely on a previous row existing).
+  b.add(0, 1, 1.0);
+  b.add(0, 1, 4.0);
+  b.add(0, 2, 2.0);
+  // Last row: duplicates at the final entry of the matrix.
+  b.add(2, 0, -1.0);
+  b.add(2, 2, 3.0);
+  b.add(2, 2, 7.0);
+  CsrMatrix m = CsrMatrix::from_triplets(b);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 10.0);
+  EXPECT_EQ(m.nnz(), 4u);
+  EXPECT_EQ(m.row_ptr()[1], 2);  // row 0 merged to two entries
+  EXPECT_EQ(m.row_ptr()[2], 2);  // row 1 is empty
+  EXPECT_EQ(m.row_ptr()[3], 4);
+}
+
+TEST(CsrMatrix, SameColumnAcrossAdjacentRowsDoesNotMerge) {
+  // Row 0 ends with column 2 and row 1 starts with column 2: these are
+  // adjacent in CSR storage but belong to different rows, so they must stay
+  // separate entries.
+  TripletBuilder b(2, 3);
+  b.add(0, 2, 5.0);
+  b.add(1, 2, 7.0);
+  CsrMatrix m = CsrMatrix::from_triplets(b);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+}
+
 TEST(CsrMatrix, SpMvMatchesDense) {
   Rng rng(3);
   const int n = 12;
