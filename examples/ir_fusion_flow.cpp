@@ -1,8 +1,9 @@
-// End-to-end IR-Fusion flow on a freshly generated mini dataset:
+// End-to-end IR-Fusion lifecycle through the public facade (irf.hpp):
 // generate designs -> golden solves -> fit the pipeline (rough AMG-PCG
 // solutions + hierarchical feature fusion + Inception Attention U-Net with
-// augmented curriculum training) -> analyze an unseen design and write its
-// predicted IR-drop map next to the golden one.
+// augmented curriculum training) -> save a model checkpoint -> serve the
+// held-out design through the persistent engine and check that the served
+// map matches a direct pipeline.analyze() call exactly.
 //
 // Runs a deliberately tiny configuration so it finishes in about a minute.
 
@@ -10,10 +11,9 @@
 #include <iomanip>
 #include <iostream>
 
-#include "common/env.hpp"
 #include "common/image_io.hpp"
-#include "core/pipeline.hpp"
 #include "features/extractor.hpp"
+#include "irf.hpp"
 #include "train/metrics.hpp"
 
 int main() {
@@ -28,38 +28,56 @@ int main() {
     cfg.seed = 2024;
     std::cout << "ir_fusion_flow: " << cfg.describe() << "\n";
 
-    std::cout << "[1/3] generating designs and golden labels...\n";
+    std::cout << "[1/4] generating designs and golden labels...\n";
     train::DesignSet designs = train::build_design_set(cfg);
 
-    std::cout << "[2/3] fitting the IR-Fusion pipeline...\n";
-    core::PipelineConfig pc;
+    std::cout << "[2/4] fitting the IR-Fusion pipeline...\n";
+    PipelineConfig pc;
     pc.image_size = cfg.image_size;
     pc.rough_iterations = cfg.rough_iters;
     pc.base_channels = cfg.base_channels;
     pc.epochs = cfg.epochs;
     pc.seed = cfg.seed;
-    core::IrFusionPipeline pipeline(pc);
+    IrFusionPipeline pipeline(pc);
     train::TrainHistory hist = pipeline.fit(designs.train);
     std::cout << "    trained " << hist.epoch_loss.size() << " epochs in " << std::fixed
               << std::setprecision(1) << hist.seconds << " s (loss "
               << std::setprecision(5) << hist.epoch_loss.front() << " -> "
               << hist.epoch_loss.back() << ")\n";
 
-    std::cout << "[3/3] analyzing the held-out design...\n";
+    std::cout << "[3/4] checkpointing the model...\n";
+    std::filesystem::create_directories("flow_out");
+    save_checkpoint(pipeline, "flow_out/model.irf");
+    std::cout << "    saved flow_out/model.irf\n";
+
+    std::cout << "[4/4] serving the held-out design from the checkpoint...\n";
     const train::PreparedDesign& held_out = designs.test.front();
+    auto engine = Engine::from_checkpoint("flow_out/model.irf");
+    AnalysisResult served = engine->analyze(*held_out.design);
+    if (!served.ok()) {
+      std::cerr << "engine returned " << status_name(served.status) << ": "
+                << served.error << "\n";
+      return 1;
+    }
     GridF pred = pipeline.analyze(*held_out.design);
+    float engine_vs_direct = 0.0f;
+    for (std::size_t i = 0; i < pred.data().size(); ++i) {
+      engine_vs_direct = std::max(
+          engine_vs_direct, std::abs(served.ir_drop.data()[i] - pred.data()[i]));
+    }
     GridF golden =
         features::label_map(*held_out.design, held_out.golden, cfg.image_size);
-    train::MapMetrics m = train::evaluate_map(pred, golden);
+    train::MapMetrics m = train::evaluate_map(served.ir_drop, golden);
     std::cout << "    " << held_out.design->name << ": MAE " << std::setprecision(2)
               << m.mae * 1e4 << " x1e-4 V, F1 " << m.f1 << ", MIRDE " << m.mirde * 1e4
-              << " x1e-4 V\n";
+              << " x1e-4 V\n"
+              << "    engine vs direct analyze: max |delta| = " << engine_vs_direct
+              << " V (expected 0)\n";
 
-    std::filesystem::create_directories("flow_out");
     write_pgm(golden, "flow_out/golden.pgm");
-    write_pgm(pred, "flow_out/prediction.pgm");
+    write_pgm(served.ir_drop, "flow_out/prediction.pgm");
     std::cout << "    maps written to flow_out/\n";
-    return 0;
+    return engine_vs_direct == 0.0f ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "ir_fusion_flow failed: " << e.what() << "\n";
     return 1;

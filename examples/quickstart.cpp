@@ -1,5 +1,6 @@
 // Quickstart: generate a small power grid, run the AMG-PCG solver, and
 // inspect the static IR drop — the numerical half of IR-Fusion in ~40 lines.
+// Everything here comes through the public facade, irf.hpp (docs/API.md).
 //
 // Build & run:  ./build/examples/quickstart
 
@@ -7,9 +8,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "common/rng.hpp"
-#include "pg/generator.hpp"
-#include "pg/solve.hpp"
+#include "irf.hpp"
 
 int main() {
   using namespace irf;
@@ -47,5 +46,13 @@ int main() {
   }
   std::cout << "rough 3-iteration solution: max node error " << max_err * 1e3
             << " mV — the ML stage refines this.\n";
+
+  // 5. A model-less serving engine degrades gracefully to that rough map —
+  //    handy as a placeholder before a checkpoint exists (see ir_fusion_flow
+  //    for the full train -> checkpoint -> serve lifecycle).
+  Engine engine{EngineOptions{}};
+  AnalysisResult served = engine.analyze(design);
+  std::cout << "engine (no model): status " << status_name(served.status)
+            << ", rough-map hotspot " << served.ir_drop.max_value() * 1e3 << " mV\n";
   return 0;
 }

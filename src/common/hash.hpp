@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file hash.hpp
+/// Small non-cryptographic hashing utilities shared by the checkpoint
+/// format (payload checksums) and the serving engine (design content
+/// hashes). FNV-1a 64-bit: fast, dependency-free, stable across platforms
+/// of the same endianness — sufficient for corruption detection and cache
+/// keying, not for adversarial inputs.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace irf {
+
+/// Streaming FNV-1a 64-bit hasher.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  void update(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = hash_;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      h ^= p[i];
+      h *= kPrime;
+    }
+    hash_ = h;
+  }
+
+  template <typename T>
+  void update_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    update(&value, sizeof(T));
+  }
+
+  void update_string(std::string_view s) {
+    const std::uint64_t n = s.size();
+    update_pod(n);
+    update(s.data(), s.size());
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+/// One-shot convenience over a byte range.
+inline std::uint64_t fnv1a64(const void* data, std::size_t bytes) {
+  Fnv1a64 h;
+  h.update(data, bytes);
+  return h.value();
+}
+
+}  // namespace irf

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include <cmath>
 #include <fstream>
 
 #include <memory>
@@ -17,14 +18,44 @@ using train::FeatureView;
 using train::PreparedDesign;
 using train::Sample;
 
+void validate_config(const PipelineConfig& config) {
+  if (config.image_size <= 0 || config.image_size % 16 != 0) {
+    throw ConfigError("pipeline image_size must be positive and divisible by 16, got " +
+                      std::to_string(config.image_size));
+  }
+  if (config.rough_iterations < 1) {
+    throw ConfigError("pipeline needs >= 1 rough iteration, got " +
+                      std::to_string(config.rough_iterations));
+  }
+  if (config.epochs < 1) {
+    throw ConfigError("pipeline needs >= 1 training epoch, got " +
+                      std::to_string(config.epochs));
+  }
+  if (config.base_channels < 1) {
+    throw ConfigError("pipeline needs >= 1 base channel, got " +
+                      std::to_string(config.base_channels));
+  }
+  if (!std::isfinite(config.learning_rate) || config.learning_rate <= 0.0) {
+    throw ConfigError("pipeline learning_rate must be finite and positive, got " +
+                      std::to_string(config.learning_rate));
+  }
+}
+
 IrFusionPipeline::IrFusionPipeline(PipelineConfig config)
     : config_(config), rng_(config.seed) {
-  if (config_.image_size % 16 != 0) {
-    throw ConfigError("pipeline image_size must be divisible by 16");
-  }
-  if (config_.rough_iterations < 1) {
-    throw ConfigError("pipeline needs >= 1 rough iteration");
-  }
+  validate_config(config_);
+}
+
+IrFusionPipeline IrFusionPipeline::restore(PipelineConfig config,
+                                           train::Normalizer normalizer,
+                                           std::unique_ptr<models::IrModel> model) {
+  if (!model) throw ConfigError("restore: model must not be null");
+  IrFusionPipeline pipeline(config);
+  pipeline.normalizer_ = std::move(normalizer);
+  pipeline.model_ = std::move(model);
+  pipeline.model_->set_training(false);
+  pipeline.fitted_ = true;
+  return pipeline;
 }
 
 FeatureView IrFusionPipeline::view() const {

@@ -38,6 +38,13 @@ struct PipelineConfig {
   bool use_residual = true;
 };
 
+/// Structural validation of a config, applied at pipeline construction (and
+/// by the serve checkpoint reader before trusting an on-disk config).
+/// Throws irf::ConfigError naming the offending field; catching a bad
+/// image_size or NaN learning rate here beats failing deep inside
+/// fit()/analyze_tiled().
+void validate_config(const PipelineConfig& config);
+
 class IrFusionPipeline {
  public:
   explicit IrFusionPipeline(PipelineConfig config);
@@ -83,14 +90,24 @@ class IrFusionPipeline {
 
   const PipelineConfig& config() const { return config_; }
   models::IrModel& model() { return *model_; }
+  const train::Normalizer& normalizer() const { return normalizer_; }
   bool is_fitted() const { return fitted_; }
 
   /// Persist a fitted pipeline (config + normalization + model weights).
+  /// Legacy v1 format; new code should prefer irf::serve checkpoints
+  /// (versioned header + checksum — see docs/API.md), which the serve
+  /// loader also accepts alongside this format.
   void save(const std::string& path) const;
 
   /// Restore a pipeline saved with save(). The returned pipeline is fitted
   /// and ready for analyze()/evaluate() without retraining.
   static IrFusionPipeline load(const std::string& path);
+
+  /// Reassemble a fitted pipeline from externally restored parts (the serve
+  /// checkpoint loader). The model must match the config's architecture
+  /// flags; the pipeline takes ownership and is immediately analyzable.
+  static IrFusionPipeline restore(PipelineConfig config, train::Normalizer normalizer,
+                                  std::unique_ptr<models::IrModel> model);
 
   /// With the numerical solution enabled, the model is trained on the
   /// *residual* between the golden label and the rough bottom-layer map —

@@ -1,5 +1,11 @@
 #include "pg/design.hpp"
 
+#include <algorithm>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "spice/parser.hpp"
+
 namespace irf::pg {
 
 DesignStats compute_stats(const PgDesign& design) {
@@ -13,6 +19,32 @@ DesignStats compute_stats(const PgDesign& design) {
     s.total_current += i.amps;
   }
   return s;
+}
+
+PgDesign load_design(const std::string& path, DesignKind kind) {
+  namespace fs = std::filesystem;
+  PgDesign design;
+  design.name = fs::path(path).parent_path().filename().string();
+  if (design.name.empty()) design.name = fs::path(path).stem().string();
+  design.kind = kind;
+  design.netlist = spice::parse_file(path);
+  if (design.netlist.voltage_sources().empty()) {
+    throw ParseError("deck " + path + " has no voltage sources");
+  }
+  design.vdd = design.netlist.voltage_sources().front().volts;
+  std::int64_t w = 0, h = 0;
+  for (spice::NodeId id = 0; id < design.netlist.num_nodes(); ++id) {
+    if (const auto& c = design.netlist.node_coords(id)) {
+      w = std::max(w, c->x_nm);
+      h = std::max(h, c->y_nm);
+    }
+  }
+  if (w == 0 || h == 0) {
+    throw ParseError("deck " + path + " has no coordinate-named nodes");
+  }
+  design.width_nm = w;
+  design.height_nm = h;
+  return design;
 }
 
 }  // namespace irf::pg

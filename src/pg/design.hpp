@@ -37,4 +37,11 @@ struct DesignStats {
 
 DesignStats compute_stats(const PgDesign& design);
 
+/// Parse a SPICE deck at `path` into a PgDesign: the die extent is inferred
+/// from the coordinate-named nodes and vdd from the first voltage source.
+/// The design name is the deck's parent directory (falling back to the file
+/// stem), matching the ICCAD dataset layout. Throws irf::ParseError when
+/// the deck has no coordinate-named nodes.
+PgDesign load_design(const std::string& path, DesignKind kind = DesignKind::kReal);
+
 }  // namespace irf::pg

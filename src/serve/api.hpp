@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file api.hpp
+/// The stable public request/response vocabulary of the serving layer (see
+/// docs/API.md). Callers build an AnalysisRequest around a PG design, hand
+/// it to an irf::serve::Engine, and receive an AnalysisResult whose status
+/// says exactly where the map came from: the full fusion path, the degraded
+/// numerical-only fallback, or not at all (timeout / cancellation / error).
+/// These types are re-exported at the top level by the irf.hpp facade.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/grid2d.hpp"
+#include "pg/design.hpp"
+
+namespace irf::serve {
+
+/// Where an AnalysisResult came from — and whether it exists at all.
+enum class ResultStatus {
+  kOk,        ///< full pipeline: numerical stage + model refinement
+  kDegraded,  ///< rough numerical map only (no model, or inference failed)
+  kTimedOut,  ///< deadline expired before the engine finished the request
+  kCancelled, ///< cancelled via Engine::cancel() or engine shutdown
+  kFailed,    ///< hard error; see AnalysisResult::error
+};
+
+/// Human-readable status label ("ok", "degraded", ...), for logs and JSON.
+const char* status_name(ResultStatus status);
+
+/// One unit of serving work. The design is shared ownership: the engine's
+/// per-design cache may keep it alive past the request (cached MNA/AMG
+/// state references the design), so callers hand in a shared_ptr rather
+/// than a borrowed reference.
+struct AnalysisRequest {
+  std::shared_ptr<const pg::PgDesign> design;
+
+  /// Per-request deadline in seconds from submission; 0 uses the engine's
+  /// default_timeout_seconds (and 0 there means "no deadline"). Deadlines
+  /// are checked at stage boundaries — dequeue and pre-inference — so a
+  /// timed-out request never occupies a batch slot.
+  double timeout_seconds = 0.0;
+
+  /// Allow the rough numerical fallback when the model path is unavailable.
+  /// When false, such requests fail instead of degrading.
+  bool allow_degraded = true;
+};
+
+/// The engine's answer. `ir_drop` is only populated for kOk/kDegraded.
+struct AnalysisResult {
+  ResultStatus status = ResultStatus::kFailed;
+  GridF ir_drop;  ///< final bottom-layer IR-drop image (volts)
+  GridF rough;    ///< rough numerical map (populated when computed)
+
+  bool degraded = false;    ///< convenience mirror of status == kDegraded
+  bool cache_hit = false;   ///< numerical+feature stage served from cache
+  int batch_size = 0;       ///< NN-forward batch this request rode in
+  std::uint64_t design_hash = 0;  ///< content hash used as the cache key
+  std::string design_name;
+
+  double queue_seconds = 0.0;      ///< time between submit and dequeue
+  double numerical_seconds = 0.0;  ///< MNA + AMG + rough solve + features
+  double inference_seconds = 0.0;  ///< share of the batched model forward
+
+  std::string error;  ///< populated for kFailed (and degraded-by-exception)
+
+  bool ok() const { return status == ResultStatus::kOk; }
+  bool has_map() const {
+    return status == ResultStatus::kOk || status == ResultStatus::kDegraded;
+  }
+};
+
+/// Engine construction knobs. Defaults suit an interactive tool; a serving
+/// deployment raises queue_capacity/cache_budget_bytes to its memory share.
+struct EngineOptions {
+  int max_batch = 8;            ///< max requests fused into one NN forward
+  int queue_capacity = 64;      ///< bounded work queue; submit blocks when full
+  std::size_t cache_budget_bytes = std::size_t{256} << 20;  ///< per-design cache
+  double default_timeout_seconds = 0.0;  ///< 0 = requests never expire
+  bool allow_degraded = true;   ///< engine-wide master switch for the fallback
+  bool start_paused = false;    ///< queue requests but do not dispatch yet
+
+  /// Resolution/iteration budget of the rough numerical map served by a
+  /// model-less (degraded-only) engine. Ignored once a pipeline is loaded —
+  /// the pipeline's own config governs then.
+  int fallback_image_size = 64;
+  int fallback_rough_iterations = 3;
+};
+
+/// Content hash of a design: geometry, supply, and every netlist element —
+/// but not the name, so re-parsed copies of one deck share a cache entry.
+std::uint64_t design_content_hash(const pg::PgDesign& design);
+
+}  // namespace irf::serve

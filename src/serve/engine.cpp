@@ -1,0 +1,490 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "features/extractor.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/checkpoint.hpp"
+#include "train/normalizer.hpp"
+
+namespace irf::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+void validate_options(const EngineOptions& options) {
+  if (options.max_batch < 1) {
+    throw ConfigError("serve: max_batch must be >= 1");
+  }
+  if (options.queue_capacity < 1) {
+    throw ConfigError("serve: queue_capacity must be >= 1");
+  }
+  if (options.fallback_image_size < 8 || options.fallback_rough_iterations < 1) {
+    throw ConfigError("serve: fallback image size/iterations out of range");
+  }
+}
+
+}  // namespace
+
+struct Engine::Pending {
+  std::uint64_t id = 0;
+  AnalysisRequest request;
+  std::promise<AnalysisResult> promise;
+  Clock::time_point enqueued;
+  Clock::time_point deadline = Clock::time_point::max();
+  bool cancelled = false;  ///< guarded by Engine::mutex_
+};
+
+struct Engine::CacheEntry {
+  std::shared_ptr<const pg::PgDesign> design;
+  std::unique_ptr<pg::PgSolver> solver;  ///< assembled MNA + AMG hierarchy
+  train::Sample sample;                  ///< fused feature stacks + rough map
+  std::size_t bytes = 0;
+  std::uint64_t last_used = 0;
+};
+
+Engine::Engine(core::IrFusionPipeline pipeline, EngineOptions options)
+    : options_(options), pipeline_(std::move(pipeline)) {
+  if (!pipeline_->is_fitted()) {
+    throw ConfigError("serve: engine needs a fitted pipeline (fit() or checkpoint)");
+  }
+  start();
+}
+
+Engine::Engine(EngineOptions options) : options_(options) { start(); }
+
+std::unique_ptr<Engine> Engine::from_checkpoint(const std::string& path,
+                                                EngineOptions options) {
+  if (!std::filesystem::exists(path)) {
+    if (!options.allow_degraded) {
+      throw Error("serve: model checkpoint missing: " + path);
+    }
+    obs::info() << "serve: checkpoint " << path
+                << " missing; engine starts degraded (numerical map only)";
+    return std::make_unique<Engine>(options);
+  }
+  return std::make_unique<Engine>(load_checkpoint(path), options);
+}
+
+void Engine::start() {
+  validate_options(options_);
+  paused_ = options_.start_paused;
+  // Register the serving instruments up front so queue depth, cache
+  // hit/miss and degraded counts appear in metrics snapshots even before
+  // (or without) traffic — the dashboards key on their presence.
+  obs::set_gauge("serve.queue.depth", 0.0);
+  obs::set_gauge("serve.cache.bytes", 0.0);
+  obs::set_gauge("serve.cache.entries", 0.0);
+  obs::count("serve.requests", 0);
+  obs::count("serve.cache.hits", 0);
+  obs::count("serve.cache.misses", 0);
+  obs::count("serve.cache.evictions", 0);
+  obs::count("serve.degraded", 0);
+  obs::count("serve.timeouts", 0);
+  obs::count("serve.cancelled", 0);
+  obs::count("serve.failures", 0);
+  dispatcher_ = std::thread([this] { run_dispatcher(); });
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Anything still queued resolves as cancelled so waiters never hang.
+  std::deque<std::shared_ptr<Pending>> leftover;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    leftover.swap(queue_);
+  }
+  for (const std::shared_ptr<Pending>& p : leftover) {
+    AnalysisResult r;
+    r.status = ResultStatus::kCancelled;
+    r.design_name = p->request.design ? p->request.design->name : "";
+    fulfil(*p, std::move(r));
+  }
+}
+
+Engine::Ticket Engine::submit(AnalysisRequest request) {
+  if (!request.design) throw ConfigError("serve: request has no design");
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  pending->enqueued = Clock::now();
+  const double timeout = pending->request.timeout_seconds > 0.0
+                             ? pending->request.timeout_seconds
+                             : options_.default_timeout_seconds;
+  if (timeout > 0.0) {
+    pending->deadline =
+        pending->enqueued + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(timeout));
+  }
+  Ticket ticket;
+  ticket.result = pending->promise.get_future();
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    space_cv_.wait(lk, [&] {
+      return stop_ || queue_.size() < static_cast<std::size_t>(options_.queue_capacity);
+    });
+    pending->id = next_id_++;
+    ticket.id = pending->id;
+    if (stop_) {
+      lk.unlock();
+      AnalysisResult r;
+      r.status = ResultStatus::kCancelled;
+      r.design_name = pending->request.design->name;
+      fulfil(*pending, std::move(r));
+      return ticket;
+    }
+    queue_.push_back(pending);
+    obs::set_gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+  }
+  {
+    std::lock_guard<std::mutex> lk(cache_mutex_);
+    ++stats_.submitted;
+  }
+  obs::count("serve.requests");
+  work_cv_.notify_one();
+  return ticket;
+}
+
+std::optional<Engine::Ticket> Engine::try_submit(AnalysisRequest request) {
+  if (!request.design) throw ConfigError("serve: request has no design");
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (stop_ || queue_.size() >= static_cast<std::size_t>(options_.queue_capacity)) {
+      return std::nullopt;
+    }
+  }
+  return submit(std::move(request));
+}
+
+AnalysisResult Engine::analyze(const pg::PgDesign& design) {
+  AnalysisRequest request;
+  request.design = std::make_shared<pg::PgDesign>(design);
+  Ticket ticket = submit(std::move(request));
+  return ticket.result.get();
+}
+
+bool Engine::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (const std::shared_ptr<Pending>& p : queue_) {
+    if (p->id == id && !p->cancelled) {
+      p->cancelled = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Engine::pause() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  paused_ = true;
+}
+
+void Engine::resume() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lk(cache_mutex_);
+  return stats_;
+}
+
+int Engine::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+void Engine::clear_cache() {
+  std::lock_guard<std::mutex> lk(cache_mutex_);
+  cache_.clear();
+  stats_.cache_bytes = 0;
+  stats_.cache_entries = 0;
+  obs::set_gauge("serve.cache.bytes", 0.0);
+  obs::set_gauge("serve.cache.entries", 0.0);
+}
+
+void Engine::run_dispatcher() {
+  while (true) {
+    std::vector<std::shared_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      work_cv_.wait(lk, [&] { return stop_ || (!queue_.empty() && !paused_); });
+      if (stop_) return;
+      const int take =
+          std::min<int>(options_.max_batch, static_cast<int>(queue_.size()));
+      batch.assign(queue_.begin(), queue_.begin() + take);
+      queue_.erase(queue_.begin(), queue_.begin() + take);
+      obs::set_gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+    }
+    space_cv_.notify_all();
+    process_batch(std::move(batch));
+  }
+}
+
+void Engine::fulfil(Pending& pending, AnalysisResult result) {
+  result.degraded = result.status == ResultStatus::kDegraded;
+  {
+    std::lock_guard<std::mutex> lk(cache_mutex_);
+    ++stats_.completed;
+    switch (result.status) {
+      case ResultStatus::kOk: ++stats_.served_ok; break;
+      case ResultStatus::kDegraded: ++stats_.degraded; break;
+      case ResultStatus::kTimedOut: ++stats_.timeouts; break;
+      case ResultStatus::kCancelled: ++stats_.cancelled; break;
+      case ResultStatus::kFailed: ++stats_.failures; break;
+    }
+  }
+  switch (result.status) {
+    case ResultStatus::kOk: break;
+    case ResultStatus::kDegraded: obs::count("serve.degraded"); break;
+    case ResultStatus::kTimedOut: obs::count("serve.timeouts"); break;
+    case ResultStatus::kCancelled: obs::count("serve.cancelled"); break;
+    case ResultStatus::kFailed: obs::count("serve.failures"); break;
+  }
+  pending.promise.set_value(std::move(result));
+}
+
+std::shared_ptr<Engine::CacheEntry> Engine::lookup_or_build(
+    const AnalysisRequest& request, AnalysisResult& result) {
+  const std::uint64_t hash = design_content_hash(*request.design);
+  result.design_hash = hash;
+  {
+    std::lock_guard<std::mutex> lk(cache_mutex_);
+    auto it = cache_.find(hash);
+    if (it != cache_.end()) {
+      it->second->last_used = ++lru_tick_;
+      ++stats_.cache_hits;
+      result.cache_hit = true;
+      obs::count("serve.cache.hits");
+      return it->second;
+    }
+  }
+  obs::count("serve.cache.misses");
+  obs::ScopedSpan span("serve_numerical", "serve");
+  auto entry = std::make_shared<CacheEntry>();
+  entry->design = request.design;
+  entry->solver = std::make_unique<pg::PgSolver>(*entry->design);
+  const int iterations = pipeline_ ? pipeline_->config().rough_iterations
+                                   : options_.fallback_rough_iterations;
+  const int image_size =
+      pipeline_ ? pipeline_->config().image_size : options_.fallback_image_size;
+  const pg::PgSolution rough = entry->solver->solve_rough(iterations);
+
+  train::Sample& sample = entry->sample;
+  sample.design_name = entry->design->name;
+  sample.kind = entry->design->kind;
+  if (pipeline_) {
+    // Mirror IrFusionPipeline::analyze exactly: full stacks regardless of
+    // the ablation flags (the view() selects channels at inference time).
+    features::FeatureOptions opts;
+    opts.image_size = image_size;
+    opts.hierarchical = true;
+    opts.include_numerical = true;
+    sample.hier = features::extract_features(*entry->design, &rough, opts);
+    opts.hierarchical = false;
+    sample.flat = features::extract_features(*entry->design, &rough, opts);
+  }
+  sample.label = GridF(image_size, image_size, 0.0f);  // unused by inference
+  sample.rough_bottom = features::label_map(*entry->design, rough, image_size);
+  result.numerical_seconds = span.seconds();
+
+  // Footprint estimate: feature/label grids plus the sparse system and its
+  // AMG hierarchy (~1.5x the fine-level nonzeros across coarse levels).
+  std::size_t grids = sample.hier.channels.size() + sample.flat.channels.size() + 2;
+  entry->bytes = grids * static_cast<std::size_t>(image_size) * image_size * sizeof(float);
+  const std::size_t nnz = entry->solver->system().conductance.nnz();
+  entry->bytes += nnz * (sizeof(double) + sizeof(int)) * 5 / 2;
+
+  std::lock_guard<std::mutex> lk(cache_mutex_);
+  entry->last_used = ++lru_tick_;
+  ++stats_.cache_misses;
+  auto [it, inserted] = cache_.emplace(hash, entry);
+  if (inserted) {
+    stats_.cache_bytes += entry->bytes;
+    stats_.cache_entries = static_cast<int>(cache_.size());
+    evict_to_budget();
+  }
+  return entry;
+}
+
+void Engine::evict_to_budget() {
+  // cache_mutex_ held. Evict least-recently-used entries until we are back
+  // under budget; a single oversized entry is kept (evicting the design we
+  // are about to serve would thrash).
+  while (stats_.cache_bytes > options_.cache_budget_bytes && cache_.size() > 1) {
+    auto victim = cache_.begin();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second->last_used < victim->second->last_used) victim = it;
+    }
+    stats_.cache_bytes -= victim->second->bytes;
+    cache_.erase(victim);
+    ++stats_.cache_evictions;
+    obs::count("serve.cache.evictions");
+  }
+  stats_.cache_entries = static_cast<int>(cache_.size());
+  obs::set_gauge("serve.cache.bytes", static_cast<double>(stats_.cache_bytes));
+  obs::set_gauge("serve.cache.entries", static_cast<double>(cache_.size()));
+}
+
+void Engine::process_batch(std::vector<std::shared_ptr<Pending>> batch) {
+  obs::ScopedSpan batch_span("serve_batch", "serve");
+  batch_span.add_arg("requests", static_cast<double>(batch.size()));
+  {
+    std::lock_guard<std::mutex> lk(cache_mutex_);
+    ++stats_.batches;
+  }
+  const Clock::time_point t0 = Clock::now();
+
+  struct Work {
+    std::shared_ptr<Pending> pending;
+    AnalysisResult result;
+    std::shared_ptr<CacheEntry> entry;
+  };
+  std::vector<Work> work;
+  work.reserve(batch.size());
+  for (std::shared_ptr<Pending>& p : batch) {
+    AnalysisResult r;
+    r.queue_seconds = seconds_between(p->enqueued, t0);
+    r.design_name = p->request.design->name;
+    bool cancelled = false;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      cancelled = p->cancelled;
+    }
+    if (cancelled) {
+      r.status = ResultStatus::kCancelled;
+      fulfil(*p, std::move(r));
+      continue;
+    }
+    if (t0 > p->deadline) {
+      r.status = ResultStatus::kTimedOut;
+      r.error = "deadline expired while queued";
+      fulfil(*p, std::move(r));
+      continue;
+    }
+    work.push_back(Work{std::move(p), std::move(r), nullptr});
+  }
+
+  // Stage A: per-design numerical + feature state, cached across requests.
+  std::vector<Work> alive;
+  alive.reserve(work.size());
+  for (Work& w : work) {
+    try {
+      w.entry = lookup_or_build(w.pending->request, w.result);
+      w.result.rough = w.entry->sample.rough_bottom;
+    } catch (const std::exception& e) {
+      w.result.status = ResultStatus::kFailed;
+      w.result.error = e.what();
+      fulfil(*w.pending, std::move(w.result));
+      continue;
+    }
+    // Deadline recheck at the stage boundary: a request that spent its
+    // budget inside the numerical stage must not occupy a batch slot.
+    if (Clock::now() > w.pending->deadline) {
+      w.result.status = ResultStatus::kTimedOut;
+      w.result.error = "deadline expired during numerical stage";
+      fulfil(*w.pending, std::move(w.result));
+      continue;
+    }
+    alive.push_back(std::move(w));
+  }
+  if (alive.empty()) return;
+
+  // Stage B: one batched forward for every surviving request.
+  bool model_ok = pipeline_.has_value();
+  std::string model_error = model_ok ? "" : "no model loaded";
+  if (model_ok) {
+    try {
+      obs::ScopedSpan infer_span("serve_infer", "serve");
+      infer_span.add_arg("batch", static_cast<double>(alive.size()));
+      const train::FeatureView view = pipeline_->view();
+      const train::Normalizer& normalizer = pipeline_->normalizer();
+      const int n = static_cast<int>(alive.size());
+      nn::Tensor first = normalizer.input_tensor(alive.front().entry->sample, view);
+      const nn::Shape single = first.shape();
+      nn::Shape batched_shape{n, single.c, single.h, single.w};
+      std::vector<float> data;
+      data.reserve(static_cast<std::size_t>(batched_shape.numel()));
+      data.insert(data.end(), first.data().begin(), first.data().end());
+      for (int i = 1; i < n; ++i) {
+        nn::Tensor t = normalizer.input_tensor(alive[static_cast<std::size_t>(i)]
+                                                   .entry->sample, view);
+        if (!(t.shape() == single)) {
+          throw DimensionError("serve: mixed input shapes in one batch");
+        }
+        data.insert(data.end(), t.data().begin(), t.data().end());
+      }
+      nn::Tensor batched = nn::Tensor::from_data(batched_shape, std::move(data));
+      pipeline_->model().set_training(false);
+      nn::Tensor out = pipeline_->model().forward(batched);
+      const nn::Shape os = out.shape();
+      if (os.n != n || os.c != 1 || os.h != single.h || os.w != single.w) {
+        throw DimensionError("serve: model returned " + os.str());
+      }
+      const std::size_t plane =
+          static_cast<std::size_t>(single.h) * static_cast<std::size_t>(single.w);
+      const bool add_rough = pipeline_->refines_rough_solution();
+      const double infer_seconds = infer_span.seconds();
+      for (int i = 0; i < n; ++i) {
+        Work& w = alive[static_cast<std::size_t>(i)];
+        GridF map(single.h, single.w);
+        const float* src = out.data().data() + static_cast<std::size_t>(i) * plane;
+        for (std::size_t j = 0; j < plane; ++j) {
+          map.data()[j] = src[j] / train::kLabelScale;
+        }
+        if (add_rough) {
+          for (std::size_t j = 0; j < plane; ++j) {
+            map.data()[j] += w.result.rough.data()[j];
+          }
+        }
+        w.result.ir_drop = std::move(map);
+        w.result.status = ResultStatus::kOk;
+        w.result.batch_size = n;
+        w.result.inference_seconds = infer_seconds;
+      }
+      obs::set_gauge("serve.batch.last_size", static_cast<double>(n));
+    } catch (const std::exception& e) {
+      model_ok = false;
+      model_error = e.what();
+      obs::info() << "serve: inference failed (" << model_error
+                  << "); degrading batch of " << alive.size();
+    }
+  }
+  if (!model_ok) {
+    // Graceful degradation: the rough numerical map is still a usable
+    // answer. Flag it so callers can tell refined from degraded output.
+    for (Work& w : alive) {
+      const bool allowed = options_.allow_degraded && w.pending->request.allow_degraded;
+      if (allowed) {
+        w.result.status = ResultStatus::kDegraded;
+        w.result.ir_drop = w.result.rough;
+        w.result.batch_size = static_cast<int>(alive.size());
+        w.result.error = model_error;
+      } else {
+        w.result.status = ResultStatus::kFailed;
+        w.result.error = "model path unavailable: " + model_error;
+      }
+    }
+  }
+  for (Work& w : alive) fulfil(*w.pending, std::move(w.result));
+}
+
+}  // namespace irf::serve

@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file engine.hpp
+/// The persistent analysis engine: a long-lived service wrapper around a
+/// fitted IrFusionPipeline that amortizes everything amortizable across
+/// requests (see docs/API.md):
+///
+///  * bounded work queue — submit() enqueues and returns a Ticket with a
+///    std::future; a single dispatcher thread drains the queue in batches
+///    (the numerical kernels underneath fan out on the irf::par pool);
+///  * per-design cache keyed by design_content_hash(): the assembled MNA
+///    system + AMG hierarchy (the PgSolver) and the fused feature stacks
+///    are computed once per design and reused, LRU-evicted under a byte
+///    budget;
+///  * cross-request batched inference: the refinement forwards of every
+///    request in a dispatch batch are stacked into one [N,C,H,W] model
+///    call. Per-sample kernels make this bit-identical to serial analyze()
+///    (tests/test_serve.cpp pins it);
+///  * robustness: per-request deadlines checked at stage boundaries,
+///    cancellation, and graceful degradation to the rough numerical map —
+///    flagged in the result — when no model is loaded or inference throws.
+///
+/// Telemetry: serve.queue.depth / serve.cache.bytes gauges, cache
+/// hit/miss/eviction + degraded/timeout counters, and serve_batch /
+/// serve_numerical / serve_infer spans (docs/OBSERVABILITY.md).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/api.hpp"
+
+namespace irf::serve {
+
+/// Monotonic counters + cache occupancy, readable from any thread. This is
+/// the engine's own bookkeeping and stays live even when obs metrics are
+/// globally disabled.
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;   ///< fulfilled with any status
+  std::uint64_t served_ok = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t batches = 0;
+  std::size_t cache_bytes = 0;
+  int cache_entries = 0;
+};
+
+class Engine {
+ public:
+  /// Handle to an in-flight request. The future resolves exactly once, with
+  /// every terminal status expressed in AnalysisResult::status (the promise
+  /// never carries an exception).
+  struct Ticket {
+    std::uint64_t id = 0;
+    std::future<AnalysisResult> result;
+  };
+
+  /// Serve from a fitted (trained or checkpoint-restored) pipeline.
+  explicit Engine(core::IrFusionPipeline pipeline, EngineOptions options = {});
+
+  /// Model-less engine: every request is answered by the rough numerical
+  /// map in degraded mode (or fails when degradation is disallowed).
+  explicit Engine(EngineOptions options = {});
+
+  /// Load a checkpoint and serve it. A *missing* file degrades gracefully
+  /// when options.allow_degraded is set (the engine runs model-less and
+  /// counts serve.degraded); an unreadable or corrupt file always throws.
+  static std::unique_ptr<Engine> from_checkpoint(const std::string& path,
+                                                 EngineOptions options = {});
+
+  /// Joins the dispatcher; queued requests resolve as kCancelled.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueue a request. Blocks while the queue is at capacity
+  /// (backpressure); throws irf::ConfigError on a null design.
+  Ticket submit(AnalysisRequest request);
+
+  /// Non-blocking submit: nullopt when the queue is full.
+  std::optional<Ticket> try_submit(AnalysisRequest request);
+
+  /// Synchronous convenience: copies the design, submits, waits. Examples
+  /// and tools use this; throughput-sensitive callers should submit shared
+  /// designs asynchronously instead.
+  AnalysisResult analyze(const pg::PgDesign& design);
+
+  /// Cancel a queued request by ticket id. True when the request was still
+  /// queued (its future will resolve kCancelled); false when it already
+  /// left the queue.
+  bool cancel(std::uint64_t id);
+
+  /// Pause/resume dispatch. Requests keep queueing while paused (deadlines
+  /// keep ticking — a paused engine can time requests out).
+  void pause();
+  void resume();
+
+  bool has_model() const { return pipeline_.has_value(); }
+  const core::IrFusionPipeline* pipeline() const {
+    return pipeline_ ? &*pipeline_ : nullptr;
+  }
+  const EngineOptions& options() const { return options_; }
+
+  EngineStats stats() const;
+  int queue_depth() const;
+  void clear_cache();
+
+ private:
+  struct Pending;
+  struct CacheEntry;
+  void start();
+  void run_dispatcher();
+  void process_batch(std::vector<std::shared_ptr<Pending>> batch);
+  std::shared_ptr<CacheEntry> lookup_or_build(const AnalysisRequest& request,
+                                              AnalysisResult& result);
+  void evict_to_budget();
+  void fulfil(Pending& pending, AnalysisResult result);
+
+  EngineOptions options_;
+  std::optional<core::IrFusionPipeline> pipeline_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable space_cv_;
+  std::deque<std::shared_ptr<Pending>> queue_;
+  bool stop_ = false;
+  bool paused_ = false;
+  std::uint64_t next_id_ = 1;
+
+  // Cache + stats are only mutated on the dispatcher thread but read from
+  // callers; guarded by cache_mutex_.
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<CacheEntry>> cache_;
+  std::uint64_t lru_tick_ = 0;
+  EngineStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace irf::serve

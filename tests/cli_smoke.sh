@@ -1,7 +1,10 @@
 #!/bin/sh
 # End-to-end smoke test of the irf_cli tool: generate a tiny dataset, solve
 # one deck, train a 1-epoch pipeline on the generated designs, analyze a
-# deck with the saved model. Registered with ctest (see tests/CMakeLists.txt).
+# deck with the saved model, and serve the design set through the engine.
+# Old flag spellings (--px, --iters, --fake, train --out, analyze --model)
+# are exercised deliberately: they must keep working as deprecated aliases.
+# Registered with ctest (see tests/CMakeLists.txt).
 set -e
 
 CLI="$1"
@@ -9,13 +12,23 @@ WORK="$2"
 rm -rf "$WORK"
 mkdir -p "$WORK"
 
-echo "== generate =="
+echo "== help (generated from the flag tables) =="
+"$CLI" --help | grep -q serve-batch
+"$CLI" solve --help | grep -q -- '--rough-iters'
+"$CLI" solve --help | grep -q 'deprecated alias: --iters'
+"$CLI" train --help | grep -q -- '--save-model'
+
+echo "== generate (deprecated alias spellings) =="
 "$CLI" generate --out "$WORK/designs" --fake 2 --real 2 --px 32 --seed 5
 
 DECK=$(find "$WORK/designs" -name netlist.sp | sort | head -1)
 echo "== solve ($DECK) =="
 "$CLI" solve "$DECK" --iters 3 --px 32 --out "$WORK/rough.csv"
 test -s "$WORK/rough.csv"
+
+echo "== solve (canonical kebab-case spellings) =="
+"$CLI" solve "$DECK" --rough-iters 3 --pixels 32 --out "$WORK/rough2.csv"
+cmp "$WORK/rough.csv" "$WORK/rough2.csv"  # alias and canonical are the same flag
 
 echo "== telemetry (--trace-out / --metrics-out) =="
 "$CLI" solve "$DECK" --iters 3 --px 32 \
@@ -48,6 +61,28 @@ test -s "$WORK/model.bin"
 echo "== analyze =="
 "$CLI" analyze --model "$WORK/model.bin" "$DECK" --out "$WORK/pred.csv"
 test -s "$WORK/pred.csv"
+"$CLI" analyze --load-model "$WORK/model.bin" "$DECK" --out "$WORK/pred2.csv"
+cmp "$WORK/pred.csv" "$WORK/pred2.csv"
+
+echo "== serve-batch =="
+"$CLI" serve-batch --load-model "$WORK/model.bin" --designs "$WORK/designs" \
+  --out-dir "$WORK/served" --batch 2 --repeat 2 \
+  --metrics-out "$WORK/serve_metrics.json"
+test -s "$WORK/serve_metrics.json"
+"$CLI" json-check "$WORK/serve_metrics.json"
+grep -q '"serve.cache.hits"' "$WORK/serve_metrics.json"
+grep -q '"serve.queue.depth"' "$WORK/serve_metrics.json"
+# Every design must have a served map, identical to the one-shot analyze.
+for d in "$WORK/designs"/*/; do
+  name=$(basename "$d")
+  test -s "$WORK/served/$name.csv"
+done
+cmp "$WORK/pred.csv" "$WORK/served/$(basename "$(dirname "$DECK")").csv"
+
+echo "== serve-batch without a model degrades gracefully =="
+"$CLI" serve-batch --designs "$WORK/designs" --out-dir "$WORK/served_degraded" \
+  --batch 2
+test -s "$WORK/served_degraded/$(basename "$(dirname "$DECK")").csv"
 
 echo "== error handling =="
 if "$CLI" bogus-subcommand; then echo "unknown subcommand must fail"; exit 1; fi
@@ -61,5 +96,12 @@ if "$CLI" solve "$DECK" --iters 3 --px 0; then echo "--px 0 must fail"; exit 1; 
 if "$CLI" solve "$DECK" --iters 3 --px -4; then echo "negative --px must fail"; exit 1; fi
 if "$CLI" solve "$DECK" --iters -1; then echo "negative --iters must fail"; exit 1; fi
 if "$CLI" json-check "$WORK/rough.csv"; then echo "json-check must reject CSV"; exit 1; fi
+if "$CLI" solve "$DECK" --bogus-flag 1; then echo "unknown flag must fail"; exit 1; fi
+if "$CLI" serve-batch --designs /nonexistent-dir; then
+  echo "serve-batch with a bad design dir must fail"; exit 1
+fi
+if "$CLI" serve-batch --designs "$WORK/designs" --batch 0; then
+  echo "--batch 0 must fail"; exit 1
+fi
 
 echo "CLI_SMOKE_PASS"

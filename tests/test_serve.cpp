@@ -1,0 +1,423 @@
+// Tests for the serving layer (src/serve): checkpoint save/load round-trips
+// bit-identically, the engine's cached + batched path matches a direct
+// IrFusionPipeline::analyze() call exactly, the per-design cache hits and
+// LRU-evicts under a byte budget, and the robustness paths (degraded
+// fallback, timeout, cancellation) resolve with the right status. The
+// test_serve_threads4 ctest entry re-runs this suite with IRF_THREADS=4 to
+// pin the "bit-identical for any pool width" half of the contract.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <thread>
+
+#include "common/error.hpp"
+#include "features/extractor.hpp"
+#include "irf.hpp"
+
+namespace irf::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-process temp path: test_serve and test_serve_threads4 run the same
+/// binary concurrently under ctest -j and must not clobber each other.
+std::string temp_path(const std::string& stem) {
+  return (fs::temp_directory_path() /
+          (stem + "_" + std::to_string(::getpid()) + ".irf"))
+      .string();
+}
+
+core::PipelineConfig tiny_pipeline_config() {
+  core::PipelineConfig pc;
+  pc.image_size = 32;
+  pc.rough_iterations = 3;
+  pc.base_channels = 4;
+  pc.epochs = 2;
+  pc.seed = 5;
+  return pc;
+}
+
+/// One tiny design set + one fitted pipeline + one saved checkpoint, shared
+/// across the suite (training is the expensive part).
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScaleConfig cfg = make_scale_config(Scale::kCi);
+    cfg.image_size = 32;
+    cfg.num_fake_designs = 3;
+    cfg.num_real_designs = 2;
+    cfg.epochs = 2;
+    cfg.base_channels = 4;
+    cfg.seed = 321;
+    set_ = new train::DesignSet(train::build_design_set(cfg));
+    pipeline_ = new core::IrFusionPipeline(tiny_pipeline_config());
+    pipeline_->fit(set_->train);
+    checkpoint_path_ = new std::string(temp_path("serve_fixture_model"));
+    save_checkpoint(*pipeline_, *checkpoint_path_);
+  }
+  static void TearDownTestSuite() {
+    fs::remove(*checkpoint_path_);
+    delete checkpoint_path_;
+    delete pipeline_;
+    delete set_;
+    checkpoint_path_ = nullptr;
+    pipeline_ = nullptr;
+    set_ = nullptr;
+  }
+
+  static const pg::PgDesign& test_design() { return *set_->test.front().design; }
+
+  static train::DesignSet* set_;
+  static core::IrFusionPipeline* pipeline_;
+  static std::string* checkpoint_path_;
+};
+
+train::DesignSet* ServeFixture::set_ = nullptr;
+core::IrFusionPipeline* ServeFixture::pipeline_ = nullptr;
+std::string* ServeFixture::checkpoint_path_ = nullptr;
+
+// --- design content hash ---------------------------------------------------
+
+TEST(DesignContentHash, NameIndependentAndContentSensitive) {
+  Rng rng(7);
+  pg::PgDesign a = pg::generate_fake_design(32, rng, "alpha");
+  pg::PgDesign b = a;
+  b.name = "beta";  // re-parsed copies of one deck must share a cache entry
+  EXPECT_EQ(design_content_hash(a), design_content_hash(b));
+
+  Rng rng2(8);
+  pg::PgDesign c = pg::generate_fake_design(32, rng2, "gamma");
+  EXPECT_NE(design_content_hash(a), design_content_hash(c));
+
+  pg::PgDesign d = a;
+  d.vdd += 0.1;
+  EXPECT_NE(design_content_hash(a), design_content_hash(d));
+}
+
+// --- checkpoint format -----------------------------------------------------
+
+TEST_F(ServeFixture, CheckpointRoundTripIsBitIdentical) {
+  core::IrFusionPipeline restored = load_checkpoint(*checkpoint_path_);
+  EXPECT_TRUE(restored.is_fitted());
+  EXPECT_EQ(restored.config().image_size, pipeline_->config().image_size);
+  EXPECT_EQ(restored.config().seed, pipeline_->config().seed);
+  EXPECT_EQ(restored.view(), pipeline_->view());
+
+  const GridF direct = pipeline_->analyze(test_design());
+  const GridF reloaded = restored.analyze(test_design());
+  ASSERT_EQ(direct.data().size(), reloaded.data().size());
+  EXPECT_EQ(direct.data(), reloaded.data());  // exact, not approximate
+}
+
+TEST_F(ServeFixture, CheckpointSurvivesASecondGeneration) {
+  // save(load(save(p))) must also be stable — no drift through re-encoding.
+  core::IrFusionPipeline restored = load_checkpoint(*checkpoint_path_);
+  const std::string second = temp_path("serve_second_gen");
+  save_checkpoint(restored, second);
+  core::IrFusionPipeline restored2 = load_checkpoint(second);
+  fs::remove(second);
+  EXPECT_EQ(pipeline_->analyze(test_design()).data(),
+            restored2.analyze(test_design()).data());
+}
+
+TEST_F(ServeFixture, CheckpointDetectsCorruption) {
+  const std::string path = temp_path("serve_corrupt");
+  fs::copy_file(*checkpoint_path_, path, fs::copy_options::overwrite_existing);
+  const auto size = fs::file_size(path);
+  {
+    // Flip one payload byte; the header checksum must catch it.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW(load_checkpoint(path), ParseError);
+  fs::remove(path);
+}
+
+TEST_F(ServeFixture, CheckpointDetectsTruncation) {
+  const std::string path = temp_path("serve_truncated");
+  std::ifstream in(*checkpoint_path_, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  EXPECT_THROW(load_checkpoint(path), ParseError);
+  fs::remove(path);
+}
+
+TEST_F(ServeFixture, LegacyV1CheckpointStillLoads) {
+  const std::string path = temp_path("serve_legacy_v1");
+  pipeline_->save(path);  // pre-redesign format
+  core::IrFusionPipeline restored = load_checkpoint(path);
+  fs::remove(path);
+  EXPECT_EQ(pipeline_->analyze(test_design()).data(),
+            restored.analyze(test_design()).data());
+}
+
+TEST_F(ServeFixture, IsCheckpointFileProbes) {
+  EXPECT_TRUE(is_checkpoint_file(*checkpoint_path_));
+  EXPECT_FALSE(is_checkpoint_file("/nonexistent/model.irf"));
+  const std::string path = temp_path("serve_not_a_checkpoint");
+  std::ofstream(path) << "definitely not a checkpoint";
+  EXPECT_FALSE(is_checkpoint_file(path));
+  fs::remove(path);
+}
+
+TEST(Checkpoint, RejectsUnfittedPipeline) {
+  core::IrFusionPipeline pipeline(tiny_pipeline_config());
+  EXPECT_THROW(save_checkpoint(pipeline, temp_path("serve_unfitted")), ConfigError);
+}
+
+// --- config validation (satellite: validate at construction) ---------------
+
+TEST(PipelineConfigValidation, RejectsBadTrainingParams) {
+  core::PipelineConfig pc = tiny_pipeline_config();
+  pc.epochs = 0;
+  EXPECT_THROW(core::IrFusionPipeline{pc}, ConfigError);
+  pc = tiny_pipeline_config();
+  pc.learning_rate = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(core::IrFusionPipeline{pc}, ConfigError);
+  pc = tiny_pipeline_config();
+  pc.learning_rate = -1e-3;
+  EXPECT_THROW(core::IrFusionPipeline{pc}, ConfigError);
+  pc = tiny_pipeline_config();
+  pc.base_channels = 0;
+  EXPECT_THROW(core::IrFusionPipeline{pc}, ConfigError);
+}
+
+TEST(EngineOptionsValidation, RejectsBadOptions) {
+  EngineOptions opts;
+  opts.max_batch = 0;
+  EXPECT_THROW(Engine{opts}, ConfigError);
+  opts = EngineOptions{};
+  opts.queue_capacity = 0;
+  EXPECT_THROW(Engine{opts}, ConfigError);
+  opts = EngineOptions{};
+  opts.fallback_image_size = 4;
+  EXPECT_THROW(Engine{opts}, ConfigError);
+}
+
+// --- engine: correctness ---------------------------------------------------
+
+TEST_F(ServeFixture, EngineMatchesDirectAnalyzeAcrossABatch) {
+  EngineOptions opts;
+  opts.start_paused = true;  // force all requests into one dispatch batch
+  auto engine = Engine::from_checkpoint(*checkpoint_path_, opts);
+  ASSERT_TRUE(engine->has_model());
+
+  std::vector<Engine::Ticket> tickets;
+  std::vector<const pg::PgDesign*> designs;
+  for (const train::PreparedDesign& p : set_->train) designs.push_back(p.design.get());
+  designs.push_back(&test_design());
+  for (const pg::PgDesign* d : designs) {
+    AnalysisRequest request;
+    request.design = std::make_shared<pg::PgDesign>(*d);
+    tickets.push_back(engine->submit(std::move(request)));
+  }
+  EXPECT_EQ(engine->queue_depth(), static_cast<int>(designs.size()));
+  engine->resume();
+
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    AnalysisResult r = tickets[i].result.get();
+    ASSERT_TRUE(r.ok()) << status_name(r.status) << ": " << r.error;
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.batch_size, static_cast<int>(designs.size()));
+    EXPECT_EQ(r.design_hash, design_content_hash(*designs[i]));
+    // The batched forward must be bit-identical to the serial pipeline.
+    const GridF direct = pipeline_->analyze(*designs[i]);
+    EXPECT_EQ(r.ir_drop.data(), direct.data()) << designs[i]->name;
+  }
+  const EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.submitted, designs.size());
+  EXPECT_EQ(stats.served_ok, designs.size());
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST_F(ServeFixture, EngineCachesPerDesignState) {
+  auto engine = Engine::from_checkpoint(*checkpoint_path_);
+  AnalysisResult first = engine->analyze(test_design());
+  AnalysisResult second = engine->analyze(test_design());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.ir_drop.data(), second.ir_drop.data());
+  const EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_entries, 1);
+  EXPECT_GT(stats.cache_bytes, 0u);
+
+  engine->clear_cache();
+  EXPECT_EQ(engine->stats().cache_entries, 0);
+  AnalysisResult third = engine->analyze(test_design());
+  EXPECT_FALSE(third.cache_hit);
+  EXPECT_EQ(third.ir_drop.data(), first.ir_drop.data());
+}
+
+TEST_F(ServeFixture, EngineEvictsLeastRecentlyUsedUnderBudget) {
+  EngineOptions opts;
+  opts.cache_budget_bytes = 1;  // every second distinct design must evict
+  auto engine = Engine::from_checkpoint(*checkpoint_path_, opts);
+  ASSERT_GE(set_->train.size(), 2u);
+  const pg::PgDesign& a = *set_->train[0].design;
+  const pg::PgDesign& b = *set_->train[1].design;
+  EXPECT_TRUE(engine->analyze(a).ok());
+  EXPECT_TRUE(engine->analyze(b).ok());
+  const EngineStats stats = engine->stats();
+  EXPECT_GE(stats.cache_evictions, 1u);
+  EXPECT_EQ(stats.cache_entries, 1);  // only the oversized newest entry stays
+  // The evicted design is rebuilt, and identically so.
+  AnalysisResult again = engine->analyze(a);
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_EQ(again.ir_drop.data(), pipeline_->analyze(a).data());
+}
+
+// --- engine: robustness ----------------------------------------------------
+
+TEST(EngineDegraded, ModelLessEngineServesRoughMap) {
+  Rng rng(11);
+  pg::PgDesign design = pg::generate_fake_design(32, rng, "degraded");
+  EngineOptions opts;
+  opts.fallback_image_size = 32;
+  opts.fallback_rough_iterations = 2;
+  Engine engine(opts);
+  EXPECT_FALSE(engine.has_model());
+  AnalysisResult r = engine.analyze(design);
+  EXPECT_EQ(r.status, ResultStatus::kDegraded);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_TRUE(r.has_map());
+  EXPECT_FALSE(r.ok());
+  // Degraded output IS the rough numerical map at the fallback budget.
+  pg::PgSolver solver(design);
+  const GridF expected = features::label_map(design, solver.solve_rough(2), 32);
+  EXPECT_EQ(r.ir_drop.data(), expected.data());
+  EXPECT_EQ(r.ir_drop.data(), r.rough.data());
+  EXPECT_EQ(engine.stats().degraded, 1u);
+}
+
+TEST(EngineDegraded, RequestMayRefuseDegradedService) {
+  Rng rng(12);
+  auto design = std::make_shared<pg::PgDesign>(
+      pg::generate_fake_design(32, rng, "strict"));
+  Engine engine{EngineOptions{}};
+  AnalysisRequest request;
+  request.design = design;
+  request.allow_degraded = false;
+  AnalysisResult r = engine.submit(std::move(request)).result.get();
+  EXPECT_EQ(r.status, ResultStatus::kFailed);
+  EXPECT_FALSE(r.has_map());
+  EXPECT_NE(r.error.find("no model"), std::string::npos);
+}
+
+TEST(EngineDegraded, EngineWideSwitchDisablesFallback) {
+  Rng rng(13);
+  pg::PgDesign design = pg::generate_fake_design(32, rng, "nofallback");
+  EngineOptions opts;
+  opts.allow_degraded = false;
+  Engine engine(opts);
+  AnalysisResult r = engine.analyze(design);
+  EXPECT_EQ(r.status, ResultStatus::kFailed);
+}
+
+TEST(EngineRobustness, QueuedRequestTimesOut) {
+  Rng rng(14);
+  auto design = std::make_shared<pg::PgDesign>(
+      pg::generate_fake_design(32, rng, "timeout"));
+  EngineOptions opts;
+  opts.start_paused = true;  // deadlines keep ticking while paused
+  Engine engine(opts);
+  AnalysisRequest request;
+  request.design = design;
+  request.timeout_seconds = 0.01;
+  Engine::Ticket ticket = engine.submit(std::move(request));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  engine.resume();
+  AnalysisResult r = ticket.result.get();
+  EXPECT_EQ(r.status, ResultStatus::kTimedOut);
+  EXPECT_FALSE(r.has_map());
+  EXPECT_EQ(engine.stats().timeouts, 1u);
+}
+
+TEST(EngineRobustness, QueuedRequestCanBeCancelled) {
+  Rng rng(15);
+  auto design = std::make_shared<pg::PgDesign>(
+      pg::generate_fake_design(32, rng, "cancel"));
+  EngineOptions opts;
+  opts.start_paused = true;
+  Engine engine(opts);
+  AnalysisRequest request;
+  request.design = design;
+  Engine::Ticket ticket = engine.submit(std::move(request));
+  EXPECT_TRUE(engine.cancel(ticket.id));
+  EXPECT_FALSE(engine.cancel(ticket.id + 999));  // unknown id
+  engine.resume();
+  AnalysisResult r = ticket.result.get();
+  EXPECT_EQ(r.status, ResultStatus::kCancelled);
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+}
+
+TEST(EngineRobustness, ShutdownResolvesQueuedRequestsAsCancelled) {
+  Rng rng(16);
+  auto design = std::make_shared<pg::PgDesign>(
+      pg::generate_fake_design(32, rng, "shutdown"));
+  std::future<AnalysisResult> orphan;
+  {
+    EngineOptions opts;
+    opts.start_paused = true;
+    Engine engine(opts);
+    AnalysisRequest request;
+    request.design = design;
+    orphan = engine.submit(std::move(request)).result;
+  }  // dtor: paused queue drains as cancelled, never hangs a waiter
+  AnalysisResult r = orphan.get();
+  EXPECT_EQ(r.status, ResultStatus::kCancelled);
+}
+
+TEST(EngineRobustness, TrySubmitReportsBackpressure) {
+  Rng rng(17);
+  auto design = std::make_shared<pg::PgDesign>(
+      pg::generate_fake_design(32, rng, "backpressure"));
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.queue_capacity = 1;
+  Engine engine(opts);
+  AnalysisRequest request;
+  request.design = design;
+  std::optional<Engine::Ticket> first = engine.try_submit(request);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(engine.try_submit(request).has_value());  // queue full
+  EXPECT_TRUE(engine.cancel(first->id));
+  engine.resume();
+  first->result.get();
+}
+
+TEST(EngineRobustness, NullDesignRejectedAtSubmit) {
+  Engine engine{EngineOptions{}};
+  EXPECT_THROW(engine.submit(AnalysisRequest{}), ConfigError);
+  EXPECT_THROW(engine.try_submit(AnalysisRequest{}), ConfigError);
+}
+
+TEST(EngineCheckpoint, MissingFileDegradesOrThrows) {
+  auto engine = Engine::from_checkpoint("/nonexistent/model.irf");
+  EXPECT_FALSE(engine->has_model());
+  EXPECT_EQ(engine->pipeline(), nullptr);
+  EngineOptions strict;
+  strict.allow_degraded = false;
+  EXPECT_THROW(Engine::from_checkpoint("/nonexistent/model.irf", strict), Error);
+}
+
+}  // namespace
+}  // namespace irf::serve

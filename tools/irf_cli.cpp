@@ -1,51 +1,36 @@
 // irf_cli — command-line front end for the IR-Fusion library.
 //
-//   irf_cli generate --out DIR [--fake N] [--real M] [--px P] [--seed S]
-//       Generate a synthetic design set, golden-solve it, and export it in
-//       the ICCAD-2023 layout (netlist.sp + image CSVs per design).
+// Subcommands (run `irf_cli <command> --help` for the full flag table —
+// help text is generated from the same tables that drive parsing):
 //
-//   irf_cli solve NETLIST.sp [--iters K] [--px P] [--out MAP.csv]
-//       Parse a SPICE PG deck and solve it with AMG-PCG. Without --iters the
-//       solve runs to 1e-10 (golden); with --iters it runs exactly K rough
-//       iterations. Optionally writes the bottom-layer IR map as CSV.
+//   generate     synthesize a design set and export it (ICCAD-2023 layout)
+//   solve        AMG-PCG solve of one SPICE PG deck
+//   train        fit the IR-Fusion pipeline and save a model checkpoint
+//   analyze      one-shot end-to-end analysis with a saved model
+//   serve-batch  persistent engine: batched, cached analysis of a deck set
+//   json-check   validate a JSON artifact (CI helper)
 //
-//   irf_cli train --designs DIR --out MODEL.bin [--epochs E] [--px P]
-//                 [--iters K] [--seed S]
-//       Load every <DIR>/*/netlist.sp (directory names starting with "real"
-//       are treated as hard designs; any design named real_<i> with odd i is
-//       held out for validation), fit the IR-Fusion pipeline and save it.
-//
-//   irf_cli analyze --model MODEL.bin NETLIST.sp [--out MAP.csv]
-//       Restore a trained pipeline and run end-to-end analysis on a deck.
-//
-//   irf_cli json-check FILE.json
-//       Validate that FILE.json parses as JSON (used by CI to check the
-//       telemetry artifacts; exits non-zero on malformed input).
-//
-// Every subcommand additionally accepts the telemetry flags
-//   --trace-out FILE.json    write a Chrome trace-event file for the run
-//   --metrics-out FILE.json  write the metrics snapshot for the run
-// and honors IRF_TRACE / IRF_METRICS / IRF_LOG_LEVEL (docs/OBSERVABILITY.md).
+// Flags are kebab-case; pre-redesign spellings (--px, --iters, --fake,
+// --real, train --out, analyze --model) remain as deprecated aliases.
+// Every subcommand also accepts the global telemetry flags --trace-out /
+// --metrics-out and honors IRF_TRACE / IRF_METRICS / IRF_LOG_LEVEL
+// (docs/OBSERVABILITY.md). The library surface used here is the public
+// facade, src/irf.hpp (docs/API.md).
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "common/error.hpp"
+#include "cli_parser.hpp"
 #include "common/image_io.hpp"
-#include "common/rng.hpp"
-#include "core/pipeline.hpp"
 #include "features/extractor.hpp"
+#include "irf.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
-#include "pg/generator.hpp"
-#include "pg/solve.hpp"
-#include "spice/parser.hpp"
 #include "train/iccad_io.hpp"
 
 namespace {
@@ -53,89 +38,91 @@ namespace {
 using namespace irf;
 namespace fs = std::filesystem;
 
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> flags;
+// ---------------------------------------------------------------------------
+// Command tables: one CommandSpec per subcommand drives parsing AND --help.
 
-  std::string flag(const std::string& name, const std::string& fallback = "") const {
-    auto it = flags.find(name);
-    return it == flags.end() ? fallback : it->second;
-  }
-  /// Integer flag with a usage-style error on non-numeric or out-of-range
-  /// values (std::stoi alone would escape as an uncaught exception).
-  int flag_int(const std::string& name, int fallback) const {
-    auto it = flags.find(name);
-    if (it == flags.end()) return fallback;
-    const std::string& text = it->second;
-    std::size_t consumed = 0;
-    int value = 0;
-    try {
-      value = std::stoi(text, &consumed);
-    } catch (const std::exception&) {
-      throw ConfigError("flag --" + name + " expects an integer, got '" + text + "'");
-    }
-    if (consumed != text.size()) {
-      throw ConfigError("flag --" + name + " expects an integer, got '" + text + "'");
-    }
-    return value;
-  }
-  /// flag_int plus a lower bound (e.g. --px must be a positive pixel count).
-  int flag_int_at_least(const std::string& name, int fallback, int min_value) const {
-    const int value = flag_int(name, fallback);
-    if (value < min_value) {
-      throw ConfigError("flag --" + name + " must be >= " + std::to_string(min_value) +
-                        ", got " + std::to_string(value));
-    }
-    return value;
-  }
-  bool has(const std::string& name) const { return flags.count(name) > 0; }
-};
+const cli::CommandSpec kGenerateSpec = {
+    "generate",
+    "",
+    "Generate a synthetic design set, golden-solve it, and export it.",
+    {
+        {"out", "", "DIR", "output directory (required)"},
+        {"fake-designs", "fake", "N", "number of fake (easy) designs"},
+        {"real-designs", "real", "M", "number of realistic (hard) designs"},
+        {"pixels", "px", "P", "map resolution in pixels"},
+        {"seed", "", "S", "generator seed"},
+    }};
 
-Args parse_args(int argc, char** argv, int first) {
-  Args args;
-  for (int i = first; i < argc; ++i) {
-    std::string a = argv[i];
-    if (a.rfind("--", 0) == 0) {
-      std::string key = a.substr(2);
-      if (i + 1 >= argc) throw ConfigError("flag --" + key + " needs a value");
-      args.flags[key] = argv[++i];
-    } else {
-      args.positional.push_back(a);
-    }
-  }
-  return args;
+const cli::CommandSpec kSolveSpec = {
+    "solve",
+    "NETLIST.sp",
+    "Parse a SPICE PG deck and solve it with AMG-PCG.",
+    {
+        {"rough-iters", "iters", "K",
+         "run exactly K rough iterations (default: golden solve to 1e-10)"},
+        {"pixels", "px", "P", "resolution of the rasterized IR map"},
+        {"out", "", "MAP.csv", "write the bottom-layer IR map as CSV"},
+    }};
+
+const cli::CommandSpec kTrainSpec = {
+    "train",
+    "",
+    "Fit the IR-Fusion pipeline on a design directory and save a checkpoint.",
+    {
+        {"designs", "", "DIR", "directory of <design>/netlist.sp decks (required)"},
+        {"save-model", "out", "MODEL.irf", "checkpoint output path (required)"},
+        {"epochs", "", "E", "training epochs"},
+        {"pixels", "px", "P", "training image size"},
+        {"rough-iters", "iters", "K", "AMG-PCG iterations for rough solutions"},
+        {"seed", "", "S", "training seed"},
+    }};
+
+const cli::CommandSpec kAnalyzeSpec = {
+    "analyze",
+    "NETLIST.sp",
+    "Restore a trained pipeline and run end-to-end analysis on one deck.",
+    {
+        {"load-model", "model", "MODEL.irf", "checkpoint to load (required)"},
+        {"out", "", "MAP.csv", "write the predicted IR map as CSV"},
+    }};
+
+const cli::CommandSpec kServeBatchSpec = {
+    "serve-batch",
+    "",
+    "Serve a design set through the persistent engine (cached, batched).",
+    {
+        {"load-model", "", "MODEL.irf",
+         "checkpoint to serve; missing file or omitted flag degrades to the "
+         "rough numerical map"},
+        {"designs", "", "DIR", "directory of <design>/netlist.sp decks (required)"},
+        {"out-dir", "", "DIR", "write one <design>.csv per served map"},
+        {"batch", "", "N", "max requests fused into one model forward"},
+        {"repeat", "", "R", "serve the design list R times (cache warm-up demo)"},
+        {"timeout-seconds", "", "T", "per-request deadline (0 = none)"},
+        {"cache-mb", "", "MB", "per-design cache budget"},
+    }};
+
+const cli::CommandSpec kJsonCheckSpec = {
+    "json-check",
+    "FILE.json",
+    "Validate that FILE.json parses as JSON (exit non-zero otherwise).",
+    {}};
+
+const std::vector<const cli::CommandSpec*>& all_commands() {
+  static const std::vector<const cli::CommandSpec*> kCommands = {
+      &kGenerateSpec, &kSolveSpec,     &kTrainSpec,
+      &kAnalyzeSpec,  &kServeBatchSpec, &kJsonCheckSpec};
+  return kCommands;
 }
 
-/// Build a PgDesign from a parsed deck, inferring extents from coordinates.
-pg::PgDesign design_from_deck(const std::string& path, pg::DesignKind kind) {
-  pg::PgDesign design;
-  design.name = fs::path(path).parent_path().filename().string();
-  if (design.name.empty()) design.name = fs::path(path).stem().string();
-  design.kind = kind;
-  design.netlist = spice::parse_file(path);
-  design.vdd = design.netlist.voltage_sources().front().volts;
-  std::int64_t w = 0, h = 0;
-  for (spice::NodeId id = 0; id < design.netlist.num_nodes(); ++id) {
-    if (const auto& c = design.netlist.node_coords(id)) {
-      w = std::max(w, c->x_nm);
-      h = std::max(h, c->y_nm);
-    }
-  }
-  if (w == 0 || h == 0) {
-    throw ParseError("deck " + path + " has no coordinate-named nodes");
-  }
-  design.width_nm = w;
-  design.height_nm = h;
-  return design;
-}
+// ---------------------------------------------------------------------------
 
-int cmd_generate(const Args& args) {
-  const std::string out = args.flag("out");
-  if (out.empty()) throw ConfigError("generate: --out DIR is required");
+int cmd_generate(const cli::ParsedArgs& args) {
+  const std::string out = args.require("out");
   ScaleConfig cfg = make_scale_config(Scale::kCi);
-  cfg.num_fake_designs = args.flag_int_at_least("fake", cfg.num_fake_designs, 0);
-  cfg.num_real_designs = args.flag_int_at_least("real", cfg.num_real_designs, 0);
-  cfg.image_size = args.flag_int_at_least("px", cfg.image_size, 8);
+  cfg.num_fake_designs = args.flag_int_at_least("fake-designs", cfg.num_fake_designs, 0);
+  cfg.num_real_designs = args.flag_int_at_least("real-designs", cfg.num_real_designs, 0);
+  cfg.image_size = args.flag_int_at_least("pixels", cfg.image_size, 8);
   cfg.seed = static_cast<std::uint64_t>(args.flag_int("seed", 1));
   obs::info() << "generating " << cfg.num_fake_designs << " fake + "
               << cfg.num_real_designs << " real designs at " << cfg.image_size
@@ -146,12 +133,12 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
-int cmd_solve(const Args& args) {
+int cmd_solve(const cli::ParsedArgs& args) {
   if (args.positional.empty()) throw ConfigError("solve: need a netlist path");
-  pg::PgDesign design = design_from_deck(args.positional[0], pg::DesignKind::kReal);
+  pg::PgDesign design = load_design(args.positional[0]);
   pg::PgSolver solver(design);
-  const int iters = args.flag_int_at_least("iters", 0, 0);
-  const int px = args.flag_int_at_least("px", 64, 1);
+  const int iters = args.flag_int_at_least("rough-iters", 0, 0);
+  const int px = args.flag_int_at_least("pixels", 64, 1);
   pg::PgSolution sol = iters > 0 ? solver.solve_rough(iters) : solver.solve_golden();
   // Rasterize the bottom-layer map for the hotspot summary (and --out).
   const GridF map = features::label_map(design, sol, px);
@@ -172,14 +159,8 @@ int cmd_solve(const Args& args) {
   return 0;
 }
 
-int cmd_train(const Args& args) {
-  const std::string dir = args.flag("designs");
-  const std::string out = args.flag("out");
-  if (dir.empty() || out.empty()) {
-    throw ConfigError("train: --designs DIR and --out MODEL.bin are required");
-  }
-  const int px = args.flag_int_at_least("px", 32, 8);
-
+/// Load every <dir>/*/netlist.sp; names starting with "real" are hard designs.
+std::vector<std::string> deck_directories(const std::string& dir) {
   std::vector<std::string> deck_dirs;
   for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
     if (entry.is_directory() && fs::exists(entry.path() / "netlist.sp")) {
@@ -187,18 +168,26 @@ int cmd_train(const Args& args) {
     }
   }
   std::sort(deck_dirs.begin(), deck_dirs.end());
-  if (deck_dirs.empty()) throw ConfigError("train: no */netlist.sp under " + dir);
+  if (deck_dirs.empty()) throw ConfigError("no */netlist.sp under " + dir);
+  return deck_dirs;
+}
+
+int cmd_train(const cli::ParsedArgs& args) {
+  const std::string dir = args.require("designs");
+  const std::string out = args.require("save-model");
+  const int px = args.flag_int_at_least("pixels", 32, 8);
 
   std::vector<train::PreparedDesign> train_designs;
   std::vector<train::PreparedDesign> held_out;
   int real_index = 0;
-  for (const std::string& d : deck_dirs) {
+  for (const std::string& d : deck_directories(dir)) {
     const std::string name = fs::path(d).filename().string();
     const bool is_real = name.rfind("real", 0) == 0;
+    // Any design named real_<i> with odd i is held out for validation.
     train::PreparedDesign p;
-    p.design = std::make_unique<pg::PgDesign>(design_from_deck(
-        (fs::path(d) / "netlist.sp").string(),
-        is_real ? pg::DesignKind::kReal : pg::DesignKind::kFake));
+    p.design = std::make_unique<pg::PgDesign>(
+        load_design((fs::path(d) / "netlist.sp").string(),
+                    is_real ? pg::DesignKind::kReal : pg::DesignKind::kFake));
     p.solver = std::make_unique<pg::PgSolver>(*p.design);
     p.golden = p.solver->solve_golden();
     if (is_real && (real_index++ % 2 == 1)) {
@@ -210,12 +199,12 @@ int cmd_train(const Args& args) {
   obs::info() << "loaded " << train_designs.size() << " training designs, "
               << held_out.size() << " held out";
 
-  core::PipelineConfig pc;
+  PipelineConfig pc;
   pc.image_size = px;
   pc.epochs = args.flag_int_at_least("epochs", 5, 1);
-  pc.rough_iterations = args.flag_int_at_least("iters", 3, 1);
+  pc.rough_iterations = args.flag_int_at_least("rough-iters", 3, 1);
   pc.seed = static_cast<std::uint64_t>(args.flag_int("seed", 7));
-  core::IrFusionPipeline pipeline(pc);
+  IrFusionPipeline pipeline(pc);
   train::TrainHistory hist = pipeline.fit(train_designs);
   obs::info() << "trained " << hist.epoch_loss.size() << " epochs in " << hist.seconds
               << " s";
@@ -224,19 +213,17 @@ int cmd_train(const Args& args) {
     obs::info() << "held-out: MAE " << m.mae_1e4() << " x1e-4 V, F1 " << m.f1
                 << ", MIRDE " << m.mirde_1e4() << " x1e-4 V";
   }
-  pipeline.save(out);
-  obs::info() << "pipeline saved to " << out;
+  save_checkpoint(pipeline, out);
+  obs::info() << "model checkpoint saved to " << out;
   return 0;
 }
 
-int cmd_analyze(const Args& args) {
-  const std::string model = args.flag("model");
-  if (model.empty() || args.positional.empty()) {
-    throw ConfigError("analyze: --model MODEL.bin and a netlist path are required");
-  }
-  core::IrFusionPipeline pipeline = core::IrFusionPipeline::load(model);
-  pg::PgDesign design = design_from_deck(args.positional[0], pg::DesignKind::kReal);
-  core::IrFusionPipeline::Diagnostics diag = pipeline.analyze_with_diagnostics(design);
+int cmd_analyze(const cli::ParsedArgs& args) {
+  const std::string model = args.require("load-model");
+  if (args.positional.empty()) throw ConfigError("analyze: need a netlist path");
+  IrFusionPipeline pipeline = load_checkpoint(model);
+  pg::PgDesign design = load_design(args.positional[0]);
+  IrFusionPipeline::Diagnostics diag = pipeline.analyze_with_diagnostics(design);
   obs::info() << "predicted worst IR drop: " << diag.prediction.max_value() * 1e3 << " mV";
   obs::verbose() << "numerical stage " << diag.solve_seconds << " s | fusion stage "
                  << diag.inference_seconds << " s (" << diag.rough_iterations
@@ -249,7 +236,75 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
-int cmd_json_check(const Args& args) {
+int cmd_serve_batch(const cli::ParsedArgs& args) {
+  const std::string dir = args.require("designs");
+  EngineOptions opts;
+  opts.max_batch = args.flag_int_at_least("batch", 8, 1);
+  opts.queue_capacity = std::max(64, opts.max_batch * 4);
+  opts.cache_budget_bytes =
+      static_cast<std::size_t>(args.flag_int_at_least("cache-mb", 256, 1)) << 20;
+  opts.default_timeout_seconds = args.flag_double("timeout-seconds", 0.0);
+  const int repeat = args.flag_int_at_least("repeat", 1, 1);
+
+  const std::string model = args.flag("load-model");
+  std::unique_ptr<Engine> engine =
+      model.empty() ? std::make_unique<Engine>(opts)
+                    : Engine::from_checkpoint(model, opts);
+  if (!engine->has_model()) {
+    obs::info() << "serving without a model: every map is the rough numerical "
+                   "fallback (degraded)";
+  }
+
+  std::vector<std::shared_ptr<const pg::PgDesign>> designs;
+  for (const std::string& d : deck_directories(dir)) {
+    designs.push_back(std::make_shared<pg::PgDesign>(
+        load_design((fs::path(d) / "netlist.sp").string())));
+  }
+  obs::info() << "serving " << designs.size() << " designs x " << repeat
+              << " rounds (batch " << opts.max_batch << ")...";
+
+  obs::ScopedSpan serve_span("serve_batch_cmd", "cli");
+  std::vector<Engine::Ticket> tickets;
+  tickets.reserve(designs.size() * static_cast<std::size_t>(repeat));
+  for (int r = 0; r < repeat; ++r) {
+    for (const auto& design : designs) {
+      AnalysisRequest request;
+      request.design = design;
+      tickets.push_back(engine->submit(std::move(request)));
+    }
+  }
+
+  const std::string out_dir = args.flag("out-dir");
+  if (!out_dir.empty()) fs::create_directories(out_dir);
+  int ok = 0, degraded = 0, other = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    AnalysisResult r = tickets[i].result.get();
+    if (r.ok()) ++ok;
+    else if (r.status == ResultStatus::kDegraded) ++degraded;
+    else ++other;
+    // Keep the map of each design's final round.
+    if (!out_dir.empty() && r.has_map() && i + designs.size() >= tickets.size()) {
+      write_csv(r.ir_drop, (fs::path(out_dir) / (r.design_name + ".csv")).string());
+    }
+    if (!r.has_map()) {
+      obs::info() << r.design_name << ": " << status_name(r.status)
+                  << (r.error.empty() ? "" : " (" + r.error + ")");
+    }
+  }
+  const double seconds = serve_span.seconds();
+  const EngineStats stats = engine->stats();
+  obs::info() << "served " << tickets.size() << " requests in " << seconds << " s ("
+              << static_cast<double>(tickets.size()) / std::max(seconds, 1e-9)
+              << " req/s): " << ok << " ok, " << degraded << " degraded, " << other
+              << " other";
+  obs::info() << "cache: " << stats.cache_hits << " hits, " << stats.cache_misses
+              << " misses, " << stats.cache_evictions << " evictions, "
+              << stats.cache_bytes / (1024.0 * 1024.0) << " MiB resident";
+  if (!out_dir.empty()) obs::info() << "maps written to " << out_dir;
+  return other == 0 ? 0 : 1;
+}
+
+int cmd_json_check(const cli::ParsedArgs& args) {
   if (args.positional.empty()) throw ConfigError("json-check: need a file path");
   const std::string& path = args.positional[0];
   std::ifstream in(path);
@@ -262,13 +317,13 @@ int cmd_json_check(const Args& args) {
 }
 
 void usage() {
-  std::cout << "usage: irf_cli <generate|solve|train|analyze|json-check> [options]\n"
-            << "  generate --out DIR [--fake N] [--real M] [--px P] [--seed S]\n"
-            << "  solve NETLIST.sp [--iters K] [--px P] [--out MAP.csv]\n"
-            << "  train --designs DIR --out MODEL.bin [--epochs E] [--px P]"
-               " [--iters K] [--seed S]\n"
-            << "  analyze --model MODEL.bin NETLIST.sp [--out MAP.csv]\n"
-            << "  json-check FILE.json\n"
+  std::cout << "usage: irf_cli <command> [options]\n";
+  for (const cli::CommandSpec* spec : all_commands()) {
+    std::cout << "  " << spec->name;
+    for (std::size_t pad = spec->name.size(); pad < 13; ++pad) std::cout << ' ';
+    std::cout << spec->summary << "\n";
+  }
+  std::cout << "run 'irf_cli <command> --help' for the per-command flag table\n"
             << "telemetry (any subcommand; see docs/OBSERVABILITY.md):\n"
             << "  --trace-out FILE.json   write Chrome trace-event spans for the run\n"
             << "  --metrics-out FILE.json write the metrics snapshot for the run\n"
@@ -276,14 +331,14 @@ void usage() {
 }
 
 /// Apply --trace-out/--metrics-out before a subcommand runs.
-void begin_telemetry(const Args& args) {
+void begin_telemetry(const cli::ParsedArgs& args) {
   obs::init_from_env();  // IRF_TRACE / IRF_METRICS / IRF_LOG_LEVEL
   if (args.has("trace-out")) obs::set_trace_enabled(true);
   if (args.has("metrics-out")) obs::set_metrics_enabled(true);
 }
 
 /// Export the artifacts the flags asked for once the subcommand finished.
-void end_telemetry(const Args& args) {
+void end_telemetry(const cli::ParsedArgs& args) {
   const std::string trace_out = args.flag("trace-out");
   if (!trace_out.empty()) {
     obs::write_chrome_trace(trace_out);
@@ -306,18 +361,34 @@ int main(int argc, char** argv) {
       return 2;
     }
     const std::string command = argv[1];
-    const Args args = parse_args(argc, argv, 2);
-    begin_telemetry(args);
-    int rc = 2;
-    if (command == "generate") rc = cmd_generate(args);
-    else if (command == "solve") rc = cmd_solve(args);
-    else if (command == "train") rc = cmd_train(args);
-    else if (command == "analyze") rc = cmd_analyze(args);
-    else if (command == "json-check") rc = cmd_json_check(args);
-    else {
+    if (command == "help" || command == "--help" || command == "-h") {
+      usage();
+      return 0;
+    }
+    const cli::CommandSpec* spec = nullptr;
+    for (const cli::CommandSpec* s : all_commands()) {
+      if (s->name == command) spec = s;
+    }
+    if (spec == nullptr) {
       usage();
       return 2;
     }
+    const cli::ParsedArgs args = parse_command_line(*spec, argc, argv, 2);
+    if (args.has("help")) {
+      std::cout << cli::help_text(*spec);
+      return 0;
+    }
+    begin_telemetry(args);
+    for (const std::string& note : args.deprecations()) {
+      obs::verbose() << "irf_cli: " << note;
+    }
+    int rc = 2;
+    if (spec == &kGenerateSpec) rc = cmd_generate(args);
+    else if (spec == &kSolveSpec) rc = cmd_solve(args);
+    else if (spec == &kTrainSpec) rc = cmd_train(args);
+    else if (spec == &kAnalyzeSpec) rc = cmd_analyze(args);
+    else if (spec == &kServeBatchSpec) rc = cmd_serve_batch(args);
+    else if (spec == &kJsonCheckSpec) rc = cmd_json_check(args);
     end_telemetry(args);
     return rc;
   } catch (const std::exception& e) {
