@@ -1,0 +1,32 @@
+# Sanitizer build presets (docs/CORRECTNESS.md).
+#
+#   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DIRF_SANITIZE=address,undefined
+#   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DIRF_SANITIZE=thread
+#
+# The value is a preset name, not a raw -fsanitize list: only the two
+# combinations CI exercises are accepted, so a typo fails at configure time
+# instead of silently building an unsanitized tree. Suppression files live in
+# tools/sanitizers/ and are pointed at via *_OPTIONS env vars (see ci.yml).
+
+set(IRF_SANITIZE "" CACHE STRING
+    "Sanitizer preset: empty, 'address,undefined', or 'thread'")
+
+if(IRF_SANITIZE STREQUAL "")
+  # no-op
+elseif(IRF_SANITIZE STREQUAL "address,undefined")
+  add_compile_options(-fsanitize=address,undefined
+                      -fno-sanitize-recover=all
+                      -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=address,undefined)
+elseif(IRF_SANITIZE STREQUAL "thread")
+  add_compile_options(-fsanitize=thread -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=thread)
+else()
+  message(FATAL_ERROR
+          "IRF_SANITIZE='${IRF_SANITIZE}' is not a preset; use "
+          "'address,undefined' or 'thread'")
+endif()
+
+if(NOT IRF_SANITIZE STREQUAL "")
+  message(STATUS "irf: sanitizer preset '${IRF_SANITIZE}' enabled")
+endif()

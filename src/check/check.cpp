@@ -1,0 +1,76 @@
+#include "check/check.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace irf::check {
+
+namespace {
+
+// Tri-state: -1 unresolved, 0 off, 1 on.
+std::atomic<int> g_enabled{-1};
+
+int resolve_default() {
+#ifdef IRF_DEBUG_CHECKS_DEFAULT
+  int on = IRF_DEBUG_CHECKS_DEFAULT;
+#else
+  int on = 0;
+#endif
+  if (const char* env = std::getenv("IRF_DEBUG_CHECKS")) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) on = 0;
+    else if (*env != '\0') on = 1;
+  }
+  return on;
+}
+
+template <typename T>
+void check_finite_impl(const T* data, std::size_t n, const char* context,
+                       const char* file, int line) {
+  if (!enabled()) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) {
+      fail(file, line,
+           std::string(context) + ": non-finite value " + std::to_string(data[i]) +
+               " at index " + std::to_string(i) + " of " + std::to_string(n));
+    }
+  }
+}
+
+}  // namespace
+
+bool enabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = resolve_default();
+    int expected = -1;
+    if (!g_enabled.compare_exchange_strong(expected, state, std::memory_order_relaxed)) {
+      state = expected;
+    }
+  }
+  return state != 0;
+}
+
+void set_enabled(bool on) { g_enabled.store(on ? 1 : 0, std::memory_order_relaxed); }
+
+void fail(const char* file, int line, const std::string& message) {
+  // Strip the build-tree prefix so messages are stable across checkouts.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if ((*p == '/' || *p == '\\') && p[1]) base = p + 1;
+  }
+  throw CheckError(std::string(base) + ":" + std::to_string(line) + ": " + message);
+}
+
+void check_finite(const float* data, std::size_t n, const char* context,
+                  const char* file, int line) {
+  check_finite_impl(data, n, context, file, line);
+}
+
+void check_finite(const double* data, std::size_t n, const char* context,
+                  const char* file, int line) {
+  check_finite_impl(data, n, context, file, line);
+}
+
+}  // namespace irf::check

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file check.hpp
+/// Debug invariant checker for the numerical core (see docs/CORRECTNESS.md).
+///
+/// Checks are *runtime-gated* so one binary serves every configuration: the
+/// gate defaults off in normal builds and on in `-DIRF_DEBUG_CHECKS=ON`
+/// builds, and the `IRF_DEBUG_CHECKS` environment variable (0/1/on/off)
+/// overrides the compiled default either way. A disabled gate costs one
+/// relaxed atomic load per check site, so hot paths may call the macros
+/// unconditionally.
+///
+/// Checks never mutate state — they only read and throw — so a checked run
+/// is bit-identical to an unchecked one (the PR 2/PR 3 determinism contract
+/// extends to this subsystem).
+///
+///   IRF_CHECK(cond, "message")        — invariant assertion
+///   IRF_CHECK_FINITE(container, ctx)  — NaN/Inf poison scan over a float or
+///                                       double range (vector, Grid data, ...)
+///
+/// A failed check throws irf::CheckError (an irf::Error) carrying the
+/// file:line of the check site, so tests can assert on the failure and
+/// production callers can catch it at the same boundary as every other irf
+/// failure.
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace irf {
+
+/// A violated debug invariant: corrupted structure, poisoned value, or a
+/// broken concurrency contract caught by the write-detection guard.
+class CheckError : public Error {
+ public:
+  explicit CheckError(const std::string& what) : Error("check failed: " + what) {}
+};
+
+namespace check {
+
+/// True when invariant checking is active. First call resolves the
+/// IRF_DEBUG_CHECKS environment variable against the compiled default;
+/// later calls are a relaxed atomic load.
+bool enabled();
+
+/// Force the gate on/off (tests; overrides environment and compiled default).
+void set_enabled(bool on);
+
+/// Throw CheckError with `file:line: message`. Out-of-line so the macro's
+/// failure path stays cold.
+[[noreturn]] void fail(const char* file, int line, const std::string& message);
+
+/// Scan [data, data+n) for NaN/Inf; throws CheckError naming `context` and
+/// the first poisoned index. No-op when the gate is off.
+void check_finite(const float* data, std::size_t n, const char* context,
+                  const char* file, int line);
+void check_finite(const double* data, std::size_t n, const char* context,
+                  const char* file, int line);
+
+}  // namespace check
+}  // namespace irf
+
+/// Assert `cond`; on failure throw irf::CheckError with the site and `msg`
+/// (any expression streamable into std::string via operator+). No-op unless
+/// the runtime gate is on.
+#define IRF_CHECK(cond, msg)                                      \
+  do {                                                            \
+    if (::irf::check::enabled() && !(cond)) {                     \
+      ::irf::check::fail(__FILE__, __LINE__, std::string(msg));   \
+    }                                                             \
+  } while (0)
+
+/// Poison scan over a contiguous float/double container (`data()`/`size()`).
+/// `ctx` names the value in the error ("pcg solution", "serve infer out").
+#define IRF_CHECK_FINITE(container, ctx)                                     \
+  do {                                                                       \
+    if (::irf::check::enabled()) {                                           \
+      ::irf::check::check_finite((container).data(), (container).size(), ctx, \
+                                 __FILE__, __LINE__);                        \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,69 @@
+#include "check/invariants.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "check/check.hpp"
+
+namespace irf::check {
+
+namespace {
+
+[[noreturn]] void bad(const char* context, const std::string& what) {
+  throw CheckError(std::string(context) + ": " + what);
+}
+
+}  // namespace
+
+void check_csr(int rows, int cols, const std::vector<int>& row_ptr,
+               const std::vector<int>& col_idx, const std::vector<double>& values,
+               const CsrCheckOptions& options, const char* context) {
+  if (!enabled()) return;
+  if (rows < 0 || cols < 0) bad(context, "negative dimensions");
+  if (row_ptr.size() != static_cast<std::size_t>(rows) + 1) {
+    bad(context, "row_ptr has " + std::to_string(row_ptr.size()) + " entries, need " +
+                     std::to_string(rows + 1));
+  }
+  if (col_idx.size() != values.size()) {
+    bad(context, "col_idx/values size mismatch: " + std::to_string(col_idx.size()) +
+                     " vs " + std::to_string(values.size()));
+  }
+  if (row_ptr.front() != 0) bad(context, "row_ptr[0] != 0");
+  if (row_ptr.back() != static_cast<int>(col_idx.size())) {
+    bad(context, "row_ptr ends at " + std::to_string(row_ptr.back()) + ", nnz is " +
+                     std::to_string(col_idx.size()));
+  }
+  for (int r = 0; r < rows; ++r) {
+    if (row_ptr[r + 1] < row_ptr[r]) {
+      bad(context, "row_ptr not monotone at row " + std::to_string(r));
+    }
+    bool has_diagonal = false;
+    int prev_col = -1;
+    for (int k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const int c = col_idx[static_cast<std::size_t>(k)];
+      if (c < 0 || c >= cols) {
+        bad(context, "row " + std::to_string(r) + " has column " + std::to_string(c) +
+                         " outside [0, " + std::to_string(cols) + ")");
+      }
+      if (c == prev_col) {
+        bad(context, "row " + std::to_string(r) + " has duplicate column " +
+                         std::to_string(c));
+      }
+      if (c < prev_col) {
+        bad(context, "row " + std::to_string(r) + " columns not sorted (" +
+                         std::to_string(prev_col) + " then " + std::to_string(c) + ")");
+      }
+      prev_col = c;
+      if (c == r) has_diagonal = true;
+      if (options.require_finite && !std::isfinite(values[static_cast<std::size_t>(k)])) {
+        bad(context, "row " + std::to_string(r) + " column " + std::to_string(c) +
+                         " holds non-finite value");
+      }
+    }
+    if (options.require_diagonal && rows == cols && !has_diagonal) {
+      bad(context, "row " + std::to_string(r) + " is missing its diagonal entry");
+    }
+  }
+}
+
+}  // namespace irf::check

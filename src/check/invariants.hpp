@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file invariants.hpp
+/// Structural validators for the data structures whose silent corruption
+/// would poison everything downstream. The CSR validator works on the raw
+/// arrays (not the CsrMatrix class) so irf_check stays below irf_linalg in
+/// the layering — linalg, solver and pg call it at construction boundaries
+/// with their own arrays.
+
+#include <cstdint>
+#include <vector>
+
+namespace irf::check {
+
+struct CsrCheckOptions {
+  /// Require an explicit (i, i) entry in every row of a square matrix —
+  /// demanded at AMG-setup/MNA boundaries where smoothers divide by the
+  /// diagonal; rectangular transfer operators leave it off.
+  bool require_diagonal = false;
+  /// Reject NaN/Inf stored values.
+  bool require_finite = true;
+};
+
+/// Validate a CSR structure: row_ptr has rows+1 monotonically non-decreasing
+/// entries starting at 0 and ending at nnz, every column index is in
+/// [0, cols) and strictly ascending within its row (sorted + unique), and
+/// the options' extra demands hold. Throws CheckError naming the first
+/// violation; no-op when the runtime gate is off.
+void check_csr(int rows, int cols, const std::vector<int>& row_ptr,
+               const std::vector<int>& col_idx, const std::vector<double>& values,
+               const CsrCheckOptions& options = {}, const char* context = "csr");
+
+}  // namespace irf::check

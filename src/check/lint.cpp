@@ -1,0 +1,274 @@
+#include "check/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace irf::check::lint {
+
+namespace {
+
+/// Per-character classification of a translation unit.
+enum class Kind : unsigned char { kCode, kComment, kString };
+
+bool identifier_char_raw(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Single-pass lexer: classifies every byte as code, comment or string
+/// (handles //, /* */, "..." with escapes, '...', and R"delim(...)delim").
+/// Newlines always stay kCode so line structure survives any projection.
+std::vector<Kind> classify(const std::string& s) {
+  std::vector<Kind> kind(s.size(), Kind::kCode);
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+  while (i < n) {
+    const char c = s[i];
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      while (i < n && s[i] != '\n') kind[i++] = Kind::kComment;
+    } else if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      kind[i] = kind[i + 1] = Kind::kComment;
+      i += 2;
+      while (i < n && !(s[i] == '*' && i + 1 < n && s[i + 1] == '/')) {
+        if (s[i] != '\n') kind[i] = Kind::kComment;
+        ++i;
+      }
+      if (i + 1 < n) kind[i] = kind[i + 1] = Kind::kComment;
+      i = std::min(n, i + 2);
+    } else if (c == 'R' && i + 1 < n && s[i + 1] == '"' &&
+               (i == 0 || (!std::isalnum(static_cast<unsigned char>(s[i - 1])) &&
+                           s[i - 1] != '_'))) {
+      // Raw string: R"delim( ... )delim"
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && s[j] != '(') delim += s[j++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = s.find(closer, j);
+      end = end == std::string::npos ? n : end + closer.size();
+      for (std::size_t k = i; k < end; ++k) {
+        if (s[k] != '\n') kind[k] = Kind::kString;
+      }
+      i = end;
+    } else if (c == '"' ||
+               (c == '\'' && (i == 0 || !identifier_char_raw(s[i - 1])))) {
+      // (a ' directly after an identifier/digit is a C++14 digit separator,
+      // not a character-literal open)
+      const char quote = c;
+      kind[i++] = Kind::kString;
+      while (i < n && s[i] != quote && s[i] != '\n') {
+        kind[i] = Kind::kString;
+        i += (s[i] == '\\' && i + 1 < n) ? 2 : 1;
+        if (i - 1 < n && s[i - 1] != '\n') kind[i - 1] = Kind::kString;
+      }
+      if (i < n && s[i] == quote) kind[i++] = Kind::kString;
+    } else {
+      ++i;
+    }
+  }
+  return kind;
+}
+
+/// Project `s` keeping only kCode bytes (others become spaces, newlines kept).
+std::string code_view(const std::string& s, const std::vector<Kind>& kind) {
+  std::string out = s;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (kind[i] != Kind::kCode && s[i] != '\n') out[i] = ' ';
+  }
+  return out;
+}
+
+int line_of(const std::string& s, std::size_t pos) {
+  return 1 + static_cast<int>(std::count(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+}
+
+bool line_has_allow(const std::string& raw, int line, const std::string& rule) {
+  if (line < 1) return false;
+  std::size_t start = 0;
+  for (int l = 1; l < line; ++l) {
+    start = raw.find('\n', start);
+    if (start == std::string::npos) return false;
+    ++start;
+  }
+  std::size_t end = raw.find('\n', start);
+  if (end == std::string::npos) end = raw.size();
+  const std::string text = raw.substr(start, end - start);
+  return text.find("irf-lint: allow(" + rule + ")") != std::string::npos;
+}
+
+/// A suppression comment covers its own line and, when it is the whole line,
+/// the line below (for sites too long to carry a trailing comment).
+bool line_allows(const std::string& raw, int line, const std::string& rule) {
+  return line_has_allow(raw, line, rule) || line_has_allow(raw, line - 1, rule);
+}
+
+bool is_header(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
+}
+
+/// A pattern rule applied to the code-only view, line-agnostic.
+struct PatternRule {
+  const char* name;
+  const char* message;
+  std::regex pattern;  // submatch 1 anchors the report position
+};
+
+const std::vector<PatternRule>& pattern_rules() {
+  static const std::vector<PatternRule> rules = [] {
+    std::vector<PatternRule> r;
+    r.push_back({"raw-new",
+                 "raw `new` outside an arena/pool; use std::make_unique / "
+                 "std::make_shared / containers",
+                 std::regex(R"((?:^|[^_A-Za-z0-9])(new)\b\s*[A-Za-z_:(])")});
+    r.push_back({"raw-delete",
+                 "raw `delete`; owning smart pointers free memory here",
+                 // `= delete` (deleted functions) stays legal.
+                 std::regex(R"((?:^|[^=\s])\s*(delete)\b(?:\s*\[\s*\])?\s+[A-Za-z_:*(])")});
+    r.push_back({"reinterpret-cast",
+                 "reinterpret_cast is banned in this codebase; serialization "
+                 "must use the memcpy-based byte IO in common/bytes.hpp",
+                 std::regex(R"((reinterpret_cast))")});
+    return r;
+  }();
+  return rules;
+}
+
+/// Instrument-call extractors for the obs-name rule. `kind` groups span with
+/// timer because a completed span records into the timer of the same name.
+struct NamePattern {
+  const char* token;
+  const char* kind;
+  bool allow_trailing_angle;  // make_unique<obs::ScopedSpan>("...")
+};
+
+const NamePattern kNamePatterns[] = {
+    {"obs::count", "counter", false},
+    {"obs::set_gauge", "gauge", false},
+    {"obs::record_timer", "timer", false},
+    {"ScopedSpan", "timer", true},
+};
+
+const std::regex& name_grammar() {
+  static const std::regex re(R"(^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$)");
+  return re;
+}
+
+bool identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::string Issue::str() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+void Linter::add_file(const std::string& path, const std::string& content) {
+  ++files_scanned_;
+  const std::vector<Kind> kinds = classify(content);
+  const std::string code = code_view(content, kinds);
+
+  // pragma-once: the first non-blank raw content of a header must be the
+  // guard (doc comments above it are fine, code is not).
+  if (is_header(path)) {
+    std::size_t pos = 0;
+    while (pos < code.size() &&
+           (std::isspace(static_cast<unsigned char>(code[pos])) || kinds[pos] != Kind::kCode)) {
+      ++pos;
+    }
+    const bool guarded =
+        pos + 12 <= code.size() && code.compare(pos, 12, "#pragma once") == 0;
+    if (!guarded) {
+      issues_.push_back({path, pos < code.size() ? line_of(content, pos) : 1,
+                         "pragma-once", "header does not start with #pragma once"});
+    }
+  }
+
+  for (const PatternRule& rule : pattern_rules()) {
+    auto begin = std::sregex_iterator(code.begin(), code.end(), rule.pattern);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const std::size_t pos = static_cast<std::size_t>(it->position(1));
+      const int line = line_of(content, pos);
+      if (line_allows(content, line, rule.name)) continue;
+      issues_.push_back({path, line, rule.name, rule.message});
+    }
+  }
+
+  // obs-name: find instrument-call tokens in real code, then read the name
+  // from the string literal that follows.
+  for (const NamePattern& np : kNamePatterns) {
+    const std::string token = np.token;
+    std::size_t pos = 0;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+      const std::size_t tok = pos;
+      pos += token.size();
+      if (tok > 0 && identifier_char(code[tok - 1])) continue;
+      if (pos < code.size() && identifier_char(code[pos])) continue;
+      std::size_t j = pos;
+      if (np.allow_trailing_angle && j < code.size() && code[j] == '>') ++j;
+      while (j < code.size() && std::isspace(static_cast<unsigned char>(code[j]))) ++j;
+      // Optional variable name (obs::ScopedSpan span("...")).
+      while (j < code.size() && identifier_char(code[j])) ++j;
+      while (j < code.size() && std::isspace(static_cast<unsigned char>(code[j]))) ++j;
+      if (j >= code.size() || code[j] != '(') continue;
+      ++j;
+      // Skip whitespace in the RAW text: the code view blanks string bytes to
+      // spaces, so scanning it here would sail straight past the name.
+      while (j < content.size() &&
+             std::isspace(static_cast<unsigned char>(content[j]))) {
+        ++j;
+      }
+      if (j >= content.size() || content[j] != '"') continue;  // not a literal name
+      const std::size_t name_begin = j + 1;
+      const std::size_t name_end = content.find('"', name_begin);
+      if (name_end == std::string::npos) continue;
+      const std::string name = content.substr(name_begin, name_end - name_begin);
+      const int line = line_of(content, tok);
+      if (line_allows(content, line, "obs-name")) continue;
+      if (!std::regex_match(name, name_grammar())) {
+        issues_.push_back({path, line, "obs-name",
+                           "instrument name \"" + name +
+                               "\" does not match [a-z][a-z0-9_]*(.[a-z][a-z0-9_]*)*"});
+      } else {
+        names_.emplace_back(name, NameUse{np.kind, path, line});
+      }
+    }
+  }
+}
+
+void Linter::finish() {
+  // One name, one instrument kind, repo-wide: "serve.queue.depth" must not
+  // be a gauge in one file and a counter in another.
+  std::vector<std::pair<std::string, NameUse>> first_use;
+  for (const auto& [name, use] : names_) {
+    auto it = std::find_if(first_use.begin(), first_use.end(),
+                           [&](const auto& p) { return p.first == name; });
+    if (it == first_use.end()) {
+      first_use.emplace_back(name, use);
+    } else if (it->second.kind != use.kind) {
+      issues_.push_back({use.file, use.line, "obs-name",
+                         "instrument \"" + name + "\" used as " + use.kind +
+                             " but registered as " + it->second.kind + " at " +
+                             it->second.file + ":" + std::to_string(it->second.line)});
+    }
+  }
+  std::stable_sort(issues_.begin(), issues_.end(), [](const Issue& a, const Issue& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+}
+
+std::vector<Issue> lint_content(const std::string& path, const std::string& content) {
+  Linter linter;
+  linter.add_file(path, content);
+  linter.finish();
+  return linter.issues();
+}
+
+std::vector<std::string> rule_names() {
+  std::vector<std::string> names;
+  for (const PatternRule& r : pattern_rules()) names.emplace_back(r.name);
+  names.emplace_back("pragma-once");
+  names.emplace_back("obs-name");
+  return names;
+}
+
+}  // namespace irf::check::lint

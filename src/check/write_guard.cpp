@@ -1,0 +1,44 @@
+#include "check/write_guard.hpp"
+
+#include <string>
+
+#include "check/check.hpp"
+
+namespace irf::check {
+
+RangeWriteGuard::RangeWriteGuard(std::int64_t size) : size_(size) {
+  if (!enabled() || size <= 0) return;
+  stamps_ = std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < size; ++i) {
+    stamps_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+  epoch_ = 1;
+}
+
+void RangeWriteGuard::new_epoch() { ++epoch_; }
+
+void RangeWriteGuard::note_write(std::uint32_t writer, std::int64_t index) {
+  if (!stamps_ || index < 0 || index >= size_) return;
+  const std::uint64_t stamp = (epoch_ << 32) | (static_cast<std::uint64_t>(writer) + 1);
+  const std::uint64_t prev = stamps_[static_cast<std::size_t>(index)].exchange(
+      stamp, std::memory_order_relaxed);
+  if (prev != 0 && (prev >> 32) == epoch_ && prev != stamp) {
+    std::int64_t expected = -1;
+    conflict_index_.compare_exchange_strong(expected, index, std::memory_order_relaxed);
+  }
+}
+
+bool RangeWriteGuard::violated() const {
+  return conflict_index_.load(std::memory_order_relaxed) >= 0;
+}
+
+void RangeWriteGuard::finish(const char* context) const {
+  const std::int64_t idx = conflict_index_.load(std::memory_order_relaxed);
+  if (idx >= 0) {
+    throw CheckError(std::string(context) + ": concurrent chunks both wrote index " +
+                     std::to_string(idx) +
+                     " (parallel_for bodies must only write state owned by their chunk)");
+  }
+}
+
+}  // namespace irf::check

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file write_guard.hpp
+/// Epoch-counter write-detection guard for parallel kernels. The
+/// `parallel_for` contract says every chunk writes only state it owns; this
+/// guard *proves* it in debug-checked runs by stamping each written index
+/// with (epoch, writer id) and flagging any index stamped twice in the same
+/// epoch by different writers.
+///
+/// The epoch counter makes the guard reusable across parallel regions
+/// without clearing the stamp array: `new_epoch()` is O(1) and invalidates
+/// every stamp from previous regions. Violations are recorded with relaxed
+/// atomics (detection must never introduce synchronization that would hide
+/// the race it is looking for) and reported by `finish()` on the calling
+/// thread, where throwing is safe.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace irf::check {
+
+class RangeWriteGuard {
+ public:
+  /// Guard writes into an index space of `size` elements.
+  explicit RangeWriteGuard(std::int64_t size);
+
+  /// Start a new parallel region; previous stamps become stale in O(1).
+  void new_epoch();
+
+  /// Record that `writer` (a chunk id) wrote `index`. Thread-safe; flags a
+  /// violation when another writer already claimed the index this epoch.
+  /// No-op when the runtime gate is off.
+  void note_write(std::uint32_t writer, std::int64_t index);
+
+  /// True once any conflicting write was recorded this guard's lifetime.
+  bool violated() const;
+
+  /// Throw CheckError describing the first recorded conflict, if any. Call
+  /// after the parallel region joins, on the owning thread.
+  void finish(const char* context) const;
+
+ private:
+  std::int64_t size_ = 0;
+  std::uint64_t epoch_ = 0;
+  // Stamp layout: epoch << 32 | (writer + 1); 0 means "never written".
+  std::unique_ptr<std::atomic<std::uint64_t>[]> stamps_;
+  std::atomic<std::int64_t> conflict_index_{-1};
+};
+
+}  // namespace irf::check

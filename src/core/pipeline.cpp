@@ -5,6 +5,8 @@
 
 #include <memory>
 
+#include "check/check.hpp"
+#include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "features/extractor.hpp"
 #include "models/unet.hpp"
@@ -151,6 +153,7 @@ IrFusionPipeline::Diagnostics IrFusionPipeline::analyze_with_diagnostics(
 
   diag.rough = sample.rough_bottom;
   diag.prediction = predict(sample);
+  IRF_CHECK_FINITE(diag.prediction.data(), "fusion-stage prediction");
   diag.inference_seconds = fusion_span.seconds();
 
   diag.correction = diag.prediction;
@@ -240,14 +243,6 @@ GridF IrFusionPipeline::predict(const Sample& sample) const {
 namespace {
 constexpr std::uint32_t kPipelineMagic = 0x49524650;  // "IRFP"
 
-template <typename T>
-void write_pod(std::ostream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-template <typename T>
-void read_pod(std::istream& in, T& v) {
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-}
 void write_string(std::ostream& out, const std::string& s) {
   write_pod(out, static_cast<std::uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "check/check.hpp"
+#include "check/invariants.hpp"
 #include "common/error.hpp"
 #include "par/par.hpp"
 
@@ -51,6 +53,12 @@ CsrMatrix CsrMatrix::from_triplets(const TripletBuilder& builder) {
       }
     }
     m.row_ptr_[r + 1] = static_cast<int>(m.col_idx_.size());
+  }
+  if (check::enabled()) {
+    // Every CSR in the process is born here, so this one call site proves
+    // the sorted-unique-in-range structural contract system-wide.
+    check::check_csr(m.rows_, m.cols_, m.row_ptr_, m.col_idx_, m.values_, {},
+                     "CsrMatrix::from_triplets");
   }
   return m;
 }

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "nn/module.hpp"
@@ -13,16 +14,6 @@ namespace irf::nn {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x49524E4E;  // "IRNN"
-
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-void read_pod(std::istream& in, T& value) {
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-}
 }  // namespace
 
 void save_parameters(const std::vector<Tensor>& params, std::ostream& out) {
@@ -34,8 +25,7 @@ void save_parameters(const std::vector<Tensor>& params, std::ostream& out) {
     write_pod(out, s.c);
     write_pod(out, s.h);
     write_pod(out, s.w);
-    out.write(reinterpret_cast<const char*>(p.data().data()),
-              static_cast<std::streamsize>(p.data().size() * sizeof(float)));
+    write_bytes(out, p.data().data(), p.data().size() * sizeof(float));
   }
   if (!out) throw Error("checkpoint stream write failed");
 }
@@ -67,8 +57,7 @@ void load_parameters(std::vector<Tensor>& params, std::istream& in) {
       throw DimensionError("checkpoint tensor shape " + s.str() + " != model " +
                            p.shape().str());
     }
-    in.read(reinterpret_cast<char*>(p.data().data()),
-            static_cast<std::streamsize>(p.data().size() * sizeof(float)));
+    read_bytes(in, p.data().data(), p.data().size() * sizeof(float));
     if (!in) throw ParseError("checkpoint stream truncated");
   }
 }
@@ -77,8 +66,7 @@ void save_buffers(const std::vector<std::vector<float>*>& buffers, std::ostream&
   write_pod(out, static_cast<std::uint32_t>(buffers.size()));
   for (const std::vector<float>* buf : buffers) {
     write_pod(out, static_cast<std::uint32_t>(buf->size()));
-    out.write(reinterpret_cast<const char*>(buf->data()),
-              static_cast<std::streamsize>(buf->size() * sizeof(float)));
+    write_bytes(out, buf->data(), buf->size() * sizeof(float));
   }
   if (!out) throw Error("buffer stream write failed");
 }
@@ -97,8 +85,7 @@ void load_buffers(const std::vector<std::vector<float>*>& buffers, std::istream&
       throw DimensionError("checkpoint buffer size " + std::to_string(size) +
                            " != model buffer size " + std::to_string(buf->size()));
     }
-    in.read(reinterpret_cast<char*>(buf->data()),
-            static_cast<std::streamsize>(buf->size() * sizeof(float)));
+    read_bytes(in, buf->data(), buf->size() * sizeof(float));
     if (!in) throw ParseError("buffer stream truncated");
   }
 }

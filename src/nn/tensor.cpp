@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "check/check.hpp"
 #include "common/error.hpp"
 
 namespace irf::nn {
@@ -82,6 +83,29 @@ std::vector<float>& Tensor::mutable_grad() {
   if (!node_) throw Error("mutable_grad() on undefined tensor");
   node_->ensure_grad();
   return node_->grad;
+}
+
+namespace {
+std::size_t checked_index(const Shape& s, int n, int c, int h, int w) {
+  IRF_CHECK(n >= 0 && n < s.n && c >= 0 && c < s.c && h >= 0 && h < s.h && w >= 0 &&
+                w < s.w,
+            "tensor index (" + std::to_string(n) + "," + std::to_string(c) + "," +
+                std::to_string(h) + "," + std::to_string(w) +
+                ") out of range for shape " + s.str());
+  return ((static_cast<std::size_t>(n) * static_cast<std::size_t>(s.c) + c) *
+              static_cast<std::size_t>(s.h) +
+          h) *
+             static_cast<std::size_t>(s.w) +
+         w;
+}
+}  // namespace
+
+float Tensor::at(int n, int c, int h, int w) const {
+  return data()[checked_index(shape(), n, c, h, w)];
+}
+
+float& Tensor::at(int n, int c, int h, int w) {
+  return data()[checked_index(shape(), n, c, h, w)];
 }
 
 float Tensor::scalar() const {

@@ -81,6 +81,12 @@ class Tensor {
 
   float scalar() const;  ///< value of a 1-element tensor
 
+  /// Bounds-checked NCHW element access (debug/test helper; hot kernels
+  /// index data() directly). Out-of-range indices trip IRF_CHECK when the
+  /// invariant checker is on (docs/CORRECTNESS.md).
+  float at(int n, int c, int h, int w) const;
+  float& at(int n, int c, int h, int w);
+
   /// Extract channel (n, c) as a Grid2D (detached copy).
   GridF to_grid(int n = 0, int c = 0) const;
 

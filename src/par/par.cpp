@@ -4,10 +4,12 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "check/check.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -27,7 +29,8 @@ thread_local bool t_in_parallel = false;
 class Pool {
  public:
   static Pool& instance() {
-    static Pool* pool = new Pool();  // leaked: workers may outlive statics
+    // irf-lint: allow(raw-new) — intentionally leaked: workers may outlive statics
+    static Pool* pool = new Pool();
     return *pool;
   }
 
@@ -55,6 +58,12 @@ class Pool {
 
   void run(detail::RangeFn fn, void* ctx, std::int64_t begin, std::int64_t end,
            std::int64_t grain, std::int64_t nchunks) {
+    // Serialize top-level parallel regions: the job-broadcast state below is
+    // single-occupancy, so a second user thread arriving mid-job must wait
+    // for the first to drain instead of overwriting fn_/ctx_/next_chunk_
+    // under the workers (the TSan-visible race pinned by
+    // ParPool.ConcurrentTopLevelCallsAreSerialized).
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
     ensure_workers();
     std::exception_ptr error;
     {
@@ -67,6 +76,21 @@ class Pool {
       nchunks_ = nchunks;
       next_chunk_.store(0, std::memory_order_relaxed);
       error_ = nullptr;
+      claim_active_ = check::enabled();
+      if (claim_active_) {
+        // Epoch-stamped chunk-claim slots: detecting a chunk executed twice
+        // (or never reset) costs one exchange per chunk, and bumping the
+        // epoch invalidates the previous job's stamps in O(1).
+        ++job_epoch_;
+        if (claim_capacity_ < static_cast<std::size_t>(nchunks)) {
+          claim_capacity_ = static_cast<std::size_t>(nchunks);
+          chunk_claim_ =
+              std::make_unique<std::atomic<std::uint64_t>[]>(claim_capacity_);
+          for (std::size_t i = 0; i < claim_capacity_; ++i) {
+            chunk_claim_[i].store(0, std::memory_order_relaxed);
+          }
+        }
+      }
       active_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
       ++generation_;
       work_cv_.notify_all();
@@ -146,6 +170,20 @@ class Pool {
       if (c >= nchunks_) return;
       const std::int64_t b = begin_ + c * grain_;
       const std::int64_t e = std::min(end_, b + grain_);
+      if (claim_active_) {
+        const std::uint64_t prev = chunk_claim_[static_cast<std::size_t>(c)].exchange(
+            job_epoch_, std::memory_order_relaxed);
+        if (prev == job_epoch_) {
+          std::lock_guard<std::mutex> lock(error_mutex_);
+          if (!error_) {
+            error_ = std::make_exception_ptr(CheckError(
+                "parallel_for dispatched chunk " + std::to_string(c) +
+                " twice in one job (shared-range mutation guard)"));
+          }
+          next_chunk_.store(nchunks_, std::memory_order_relaxed);
+          continue;
+        }
+      }
       try {
         if (worker && obs::trace_enabled()) {
           obs::ScopedSpan span("par_chunk", "par");
@@ -167,6 +205,17 @@ class Pool {
   std::mutex config_mutex_;
   int configured_ = 1;
   std::vector<std::thread> workers_;
+
+  // Held for the whole of run(): top-level parallel regions from different
+  // user threads execute one at a time.
+  std::mutex run_mutex_;
+
+  // Debug invariant state (IRF_DEBUG_CHECKS): written in run() under
+  // job_mutex_ before the generation bump, read by workers afterwards.
+  bool claim_active_ = false;
+  std::uint64_t job_epoch_ = 0;
+  std::size_t claim_capacity_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> chunk_claim_;
 
   // Job broadcast state.
   std::mutex job_mutex_;

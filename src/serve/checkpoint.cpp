@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "models/unet.hpp"
@@ -16,18 +17,6 @@ namespace {
 
 // Legacy v1 magic written by IrFusionPipeline::save() ("IRFP").
 constexpr std::uint32_t kLegacyMagic = 0x49524650;
-
-template <typename T>
-void write_pod(std::ostream& out, const T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-void read_pod(std::istream& in, T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-}
 
 void write_string(std::ostream& out, const std::string& s) {
   write_pod(out, static_cast<std::uint32_t>(s.size()));
@@ -52,7 +41,7 @@ void write_config(std::ostream& out, const core::PipelineConfig& c) {
   const std::uint8_t flags[7] = {
       c.use_numerical, c.use_hierarchical, c.use_inception, c.use_cbam,
       c.use_augmentation, c.use_curriculum, c.use_residual};
-  out.write(reinterpret_cast<const char*>(flags), sizeof(flags));
+  write_bytes(out, flags, sizeof(flags));
 }
 
 core::PipelineConfig read_config(std::istream& in) {
@@ -69,7 +58,7 @@ core::PipelineConfig read_config(std::istream& in) {
   read_pod(in, c.learning_rate);
   read_pod(in, c.seed);
   std::uint8_t flags[7] = {};
-  in.read(reinterpret_cast<char*>(flags), sizeof(flags));
+  read_bytes(in, flags, sizeof(flags));
   c.use_numerical = flags[0];
   c.use_hierarchical = flags[1];
   c.use_inception = flags[2];

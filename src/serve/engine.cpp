@@ -4,6 +4,7 @@
 #include <chrono>
 #include <filesystem>
 
+#include "check/check.hpp"
 #include "common/error.hpp"
 #include "features/extractor.hpp"
 #include "obs/log.hpp"
@@ -435,6 +436,7 @@ void Engine::process_batch(std::vector<std::shared_ptr<Pending>> batch) {
       nn::Tensor batched = nn::Tensor::from_data(batched_shape, std::move(data));
       pipeline_->model().set_training(false);
       nn::Tensor out = pipeline_->model().forward(batched);
+      IRF_CHECK_FINITE(out.data(), "serve batched inference output");
       const nn::Shape os = out.shape();
       if (os.n != n || os.c != 1 || os.h != single.h || os.w != single.w) {
         throw DimensionError("serve: model returned " + os.str());

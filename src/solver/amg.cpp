@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "check/check.hpp"
+#include "check/invariants.hpp"
 #include "common/error.hpp"
 #include "linalg/smoothers.hpp"
 #include "obs/metrics.hpp"
@@ -27,6 +29,18 @@ AmgHierarchy::AmgHierarchy(const CsrMatrix& a, AmgOptions options)
     CsrMatrix coarse = galerkin_coarse_matrix(fine, agg);
     levels_.back().to_coarse = std::move(agg);
     levels_.push_back(AmgLevel{std::move(coarse), std::nullopt});
+  }
+  if (check::enabled()) {
+    // Smoothers divide by the diagonal on every level, so each operator
+    // must carry an explicit, finite diagonal on top of the structural
+    // contract from_triplets already proved.
+    check::CsrCheckOptions opts;
+    opts.require_diagonal = true;
+    for (const AmgLevel& l : levels_) {
+      check::check_csr(l.matrix.rows(), l.matrix.cols(), l.matrix.row_ptr(),
+                       l.matrix.col_idx(), l.matrix.values(), opts,
+                       "AMG level operator");
+    }
   }
   coarse_solver_ = std::make_unique<linalg::CholeskyFactor>(
       linalg::DenseMatrix::from_csr(levels_.back().matrix));

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "check/check.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -112,6 +113,9 @@ SolveResult preconditioned_cg(const linalg::CsrMatrix& a, const Vec& b,
     result.converged =
         res_norm / b_norm < options.rel_tolerance || res_norm < options.abs_tolerance;
   }
+  // Poison scan: the residual checks above bound the norm, but a NaN that
+  // cancels in the norm could still hide in individual solution entries.
+  IRF_CHECK_FINITE(result.x, "pcg solution");
   obs::count("solver.pcg.solves");
   obs::count("solver.pcg.iterations", static_cast<std::uint64_t>(k));
   obs::set_gauge("solver.pcg.last_relative_residual", result.final_relative_residual);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "check/check.hpp"
 #include "common/error.hpp"
 #include "common/gaussian.hpp"
 #include "nn/optimizer.hpp"
@@ -86,6 +87,7 @@ GridF predict_volts(models::IrModel& model, const Sample& sample, FeatureView vi
   model.set_training(false);
   nn::Tensor input = normalizer.input_tensor(sample, view);
   nn::Tensor pred = model.forward(input);
+  IRF_CHECK_FINITE(pred.data(), "model forward output");
   return Normalizer::prediction_to_volts(pred);
 }
 

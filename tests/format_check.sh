@@ -1,0 +1,21 @@
+#!/bin/sh
+# format_check.sh <clang-format-binary> <repo-root>
+# Dry-run clang-format over every tracked C++ source; any diff fails the test.
+# Registered as a ctest only when clang-format is installed (see
+# tests/CMakeLists.txt); the style itself lives in <repo-root>/.clang-format.
+set -eu
+
+CLANG_FORMAT="$1"
+ROOT="$2"
+
+status=0
+for dir in src tools tests bench examples; do
+  [ -d "$ROOT/$dir" ] || continue
+  for f in $(find "$ROOT/$dir" -name lint_fixtures -prune -o \
+             \( -name '*.cpp' -o -name '*.hpp' \) -print); do
+    if ! "$CLANG_FORMAT" --dry-run --Werror "$f"; then
+      status=1
+    fi
+  done
+done
+exit $status

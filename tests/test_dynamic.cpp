@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "common/env.hpp"
 #include "train/dynamic.hpp"
@@ -24,16 +25,13 @@ class DynamicFixture : public ::testing::Test {
     dyn.transient.timestep = 4e-10;
     dyn.transient.duration = 4e-9;
     dyn.rough_iterations = 2;
-    set_ = new DynamicDesignSet(build_dynamic_design_set(cfg, dyn));
+    set_ = std::make_unique<DynamicDesignSet>(build_dynamic_design_set(cfg, dyn));
   }
-  static void TearDownTestSuite() {
-    delete set_;
-    set_ = nullptr;
-  }
-  static DynamicDesignSet* set_;
+  static void TearDownTestSuite() { set_.reset(); }
+  static std::unique_ptr<DynamicDesignSet> set_;
 };
 
-DynamicDesignSet* DynamicFixture::set_ = nullptr;
+std::unique_ptr<DynamicDesignSet> DynamicFixture::set_;
 
 TEST_F(DynamicFixture, SplitAndTransientElements) {
   EXPECT_EQ(set_->train.size(), 3u);

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 
 #include "common/env.hpp"
 #include "core/pipeline.hpp"
@@ -32,16 +33,13 @@ ScaleConfig tiny_config() {
 class IoFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    set_ = new DesignSet(build_design_set(tiny_config()));
+    set_ = std::make_unique<DesignSet>(build_design_set(tiny_config()));
   }
-  static void TearDownTestSuite() {
-    delete set_;
-    set_ = nullptr;
-  }
-  static DesignSet* set_;
+  static void TearDownTestSuite() { set_.reset(); }
+  static std::unique_ptr<DesignSet> set_;
 };
 
-DesignSet* IoFixture::set_ = nullptr;
+std::unique_ptr<DesignSet> IoFixture::set_;
 
 TEST_F(IoFixture, ExportImportRoundTrip) {
   const fs::path root = fs::temp_directory_path() / "irf_iccad_export";

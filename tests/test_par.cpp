@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -196,6 +197,40 @@ TEST(ParDeterminism, Conv2dForwardBackwardBitIdentical) {
   for (std::size_t i = 0; i < r1.dw.size(); ++i) EXPECT_EQ(r1.dw[i], r4.dw[i]);
   ASSERT_EQ(r1.db.size(), r4.db.size());
   for (std::size_t i = 0; i < r1.db.size(); ++i) EXPECT_EQ(r1.db[i], r4.db[i]);
+}
+
+TEST(ParPool, ConcurrentTopLevelCallsAreSerialized) {
+  // Regression for a real race: two user threads issuing top-level
+  // parallel_for calls used to overwrite the pool's single-occupancy job
+  // broadcast state (fn/ctx/chunk cursor) under each other, corrupting both
+  // ranges. run() now serializes top-level regions, so every element must
+  // come out exactly right. Run under TSan to pin the synchronization.
+  PoolGuard guard;
+  par::set_num_threads(4);
+  constexpr std::int64_t kN = 20000;
+  constexpr int kRounds = 20;
+  std::vector<std::int64_t> a(kN, 0), b(kN, 0);
+  std::atomic<int> failures{0};
+  auto hammer = [&](std::vector<std::int64_t>& out, std::int64_t scale) {
+    try {
+      for (int round = 0; round < kRounds; ++round) {
+        par::parallel_for(0, kN, 64, [&out, scale](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) out[i] += scale * i;
+        });
+      }
+    } catch (...) {
+      failures.fetch_add(1);
+    }
+  };
+  std::thread t1(hammer, std::ref(a), 1);
+  std::thread t2(hammer, std::ref(b), 3);
+  t1.join();
+  t2.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(a[i], kRounds * i) << "index " << i;
+    ASSERT_EQ(b[i], 3 * kRounds * i) << "index " << i;
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "common/error.hpp"
 #include "core/pipeline.hpp"
@@ -38,16 +39,15 @@ PipelineConfig tiny_pipeline_config() {
 
 class PipelineFixture : public ::testing::Test {
  protected:
-  static void SetUpTestSuite() { set_ = new train::DesignSet(build_designs()); }
-  static void TearDownTestSuite() {
-    delete set_;
-    set_ = nullptr;
+  static void SetUpTestSuite() {
+    set_ = std::make_unique<train::DesignSet>(build_designs());
   }
+  static void TearDownTestSuite() { set_.reset(); }
   static train::DesignSet build_designs() { return train::build_design_set(tiny_config()); }
-  static train::DesignSet* set_;
+  static std::unique_ptr<train::DesignSet> set_;
 };
 
-train::DesignSet* PipelineFixture::set_ = nullptr;
+std::unique_ptr<train::DesignSet> PipelineFixture::set_;
 
 TEST(PipelineConfigValidation, RejectsBadGeometry) {
   PipelineConfig pc = tiny_pipeline_config();

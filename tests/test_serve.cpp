@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <unistd.h>
 
 #include <chrono>
@@ -55,32 +56,29 @@ class ServeFixture : public ::testing::Test {
     cfg.epochs = 2;
     cfg.base_channels = 4;
     cfg.seed = 321;
-    set_ = new train::DesignSet(train::build_design_set(cfg));
-    pipeline_ = new core::IrFusionPipeline(tiny_pipeline_config());
+    set_ = std::make_unique<train::DesignSet>(train::build_design_set(cfg));
+    pipeline_ = std::make_unique<core::IrFusionPipeline>(tiny_pipeline_config());
     pipeline_->fit(set_->train);
-    checkpoint_path_ = new std::string(temp_path("serve_fixture_model"));
+    checkpoint_path_ = std::make_unique<std::string>(temp_path("serve_fixture_model"));
     save_checkpoint(*pipeline_, *checkpoint_path_);
   }
   static void TearDownTestSuite() {
     fs::remove(*checkpoint_path_);
-    delete checkpoint_path_;
-    delete pipeline_;
-    delete set_;
-    checkpoint_path_ = nullptr;
-    pipeline_ = nullptr;
-    set_ = nullptr;
+    checkpoint_path_.reset();
+    pipeline_.reset();
+    set_.reset();
   }
 
   static const pg::PgDesign& test_design() { return *set_->test.front().design; }
 
-  static train::DesignSet* set_;
-  static core::IrFusionPipeline* pipeline_;
-  static std::string* checkpoint_path_;
+  static std::unique_ptr<train::DesignSet> set_;
+  static std::unique_ptr<core::IrFusionPipeline> pipeline_;
+  static std::unique_ptr<std::string> checkpoint_path_;
 };
 
-train::DesignSet* ServeFixture::set_ = nullptr;
-core::IrFusionPipeline* ServeFixture::pipeline_ = nullptr;
-std::string* ServeFixture::checkpoint_path_ = nullptr;
+std::unique_ptr<train::DesignSet> ServeFixture::set_;
+std::unique_ptr<core::IrFusionPipeline> ServeFixture::pipeline_;
+std::unique_ptr<std::string> ServeFixture::checkpoint_path_;
 
 // --- design content hash ---------------------------------------------------
 

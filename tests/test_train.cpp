@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -27,21 +28,19 @@ class TrainFixture : public ::testing::Test {
     cfg.num_fake_designs = 3;
     cfg.num_real_designs = 2;
     cfg.seed = 99;
-    set_ = new DesignSet(build_design_set(cfg));
-    samples_ = new std::vector<Sample>(make_samples(set_->train, 2, 32));
+    set_ = std::make_unique<DesignSet>(build_design_set(cfg));
+    samples_ = std::make_unique<std::vector<Sample>>(make_samples(set_->train, 2, 32));
   }
   static void TearDownTestSuite() {
-    delete samples_;
-    delete set_;
-    samples_ = nullptr;
-    set_ = nullptr;
+    samples_.reset();
+    set_.reset();
   }
-  static DesignSet* set_;
-  static std::vector<Sample>* samples_;
+  static std::unique_ptr<DesignSet> set_;
+  static std::unique_ptr<std::vector<Sample>> samples_;
 };
 
-DesignSet* TrainFixture::set_ = nullptr;
-std::vector<Sample>* TrainFixture::samples_ = nullptr;
+std::unique_ptr<DesignSet> TrainFixture::set_;
+std::unique_ptr<std::vector<Sample>> TrainFixture::samples_;
 
 TEST_F(TrainFixture, SplitFollowsContestSetup) {
   // 3 fake + 1 real train, 1 real test.

@@ -1,0 +1,116 @@
+// irf_lint — project-rule linter, run as a ctest so violations fail tier-1.
+//
+//   irf_lint <dir-or-file>...            lint every .hpp/.cpp under the paths
+//                                        (skipping build*/, .git/, lint_fixtures/);
+//                                        exit 0 iff no violations
+//   irf_lint --expect-violations <...>   invert: exit 0 iff violations WERE
+//                                        found (the seeded-fixture self-test,
+//                                        proving the rules actually fire)
+//
+// The rule table and the scanning engine live in src/check/lint.{hpp,cpp};
+// docs/CORRECTNESS.md describes each rule and how to add one.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+bool skipped_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == ".git" || name == "lint_fixtures" || name.rfind("build", 0) == 0;
+}
+
+std::vector<fs::path> collect(const std::vector<std::string>& roots, bool fixtures) {
+  std::vector<fs::path> files;
+  for (const std::string& root : roots) {
+    const fs::path p(root);
+    if (fs::is_regular_file(p)) {
+      files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(p)) {
+      std::cerr << "irf_lint: no such path: " << root << "\n";
+      continue;
+    }
+    auto it = fs::recursive_directory_iterator(p);
+    for (auto end = fs::recursive_directory_iterator(); it != end; ++it) {
+      if (it->is_directory()) {
+        // Fixture mode lints exactly the seeded-violation tree; normal mode
+        // must never see it (its files are violations on purpose).
+        if (skipped_dir(it->path()) && !(fixtures && it->path().filename() == "lint_fixtures")) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (it->is_regular_file() && lintable(it->path())) files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool expect_violations = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--expect-violations") {
+      expect_violations = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: irf_lint [--expect-violations] <dir-or-file>...\n";
+      return 0;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "irf_lint: no paths given (try --help)\n";
+    return 2;
+  }
+
+  irf::check::lint::Linter linter;
+  for (const fs::path& file : collect(roots, expect_violations)) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "irf_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    linter.add_file(file.generic_string(), content.str());
+  }
+  linter.finish();
+
+  for (const auto& issue : linter.issues()) std::cout << issue.str() << "\n";
+  std::cout << "irf_lint: " << linter.issues().size() << " violation(s) in "
+            << linter.files_scanned() << " file(s)\n";
+  if (linter.files_scanned() == 0) {
+    std::cerr << "irf_lint: nothing scanned\n";
+    return 2;
+  }
+  if (expect_violations) {
+    if (linter.issues().empty()) {
+      std::cerr << "irf_lint: expected the seeded fixtures to violate rules, "
+                   "but none fired\n";
+      return 1;
+    }
+    return 0;
+  }
+  return linter.issues().empty() ? 0 : 1;
+}

@@ -1,0 +1,3 @@
+// rule: pragma-once — this header intentionally lacks the guard.
+
+inline int fixture_answer() { return 42; }

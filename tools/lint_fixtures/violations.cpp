@@ -1,0 +1,31 @@
+// Seeded rule violations for the irf_lint self-test (irf_lint_fixture ctest).
+// Every block below MUST trip a rule; this file is never compiled or linted
+// in the normal pass (the lint_fixtures/ directory is skipped).
+
+#include <cstring>
+
+struct Widget {
+  int value = 0;
+};
+
+int* make_raw() {
+  int* leak = new int(42);  // rule: raw-new
+  return leak;
+}
+
+void drop_raw(Widget* w) {
+  delete w;  // rule: raw-delete
+}
+
+float type_pun(int bits) {
+  // rule: reinterpret-cast — serialization must stage through memcpy instead.
+  return *reinterpret_cast<float*>(&bits);
+}
+
+namespace obs {
+void count(const char* name);
+}
+
+void bad_metric_name() {
+  obs::count("Bad-Metric Name");  // rule: obs-name (uppercase, dash, space)
+}
