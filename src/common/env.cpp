@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "common/string_util.hpp"
 #include "obs/obs.hpp"
 
@@ -39,11 +40,14 @@ ScaleConfig resolve_scale_from_env() {
   }
   ScaleConfig c = make_scale_config(scale);
   if (const char* s = std::getenv("IRF_SEED")) {
-    try {
-      c.seed = std::stoull(s);
-    } catch (const std::exception&) {
-      throw ConfigError(std::string("IRF_SEED must be an integer, got '") + s + "'");
+    // Checked full-string parse: std::stoull would throw on garbage but also
+    // silently accept "12abc" (as 12) and wrap "-5" around to 2^64-5.
+    const std::optional<std::uint64_t> seed = try_parse_uint64(trim(s));
+    if (!seed) {
+      throw ConfigError(std::string("IRF_SEED must be a non-negative integer, got '") +
+                        s + "'");
     }
+    c.seed = *seed;
   }
   return c;
 }

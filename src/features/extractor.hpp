@@ -38,12 +38,34 @@ struct FeatureStack {
   std::vector<std::string> names;
 
   int size() const { return static_cast<int>(channels.size()); }
+
+  /// Heap bytes retained by the channel grids and their names.
+  std::size_t memory_bytes() const;
+};
+
+/// Which channel groups a design delta invalidated. Geometry-derived maps
+/// (eff_dist, pdn_density_*) survive every value-only delta, so they are not
+/// representable here at all.
+struct DirtyChannels {
+  bool numerical = false;    ///< num_ir_* (rough solution changed)
+  bool currents = false;     ///< current_* (load amps changed)
+  bool wire_values = false;  ///< resistance_*, sp_resistance_*, and the
+                             ///< conductance shares inside current_*
 };
 
 /// Build the input features. `rough` may be null only when
 /// `options.include_numerical` is false.
 FeatureStack extract_features(const pg::PgDesign& design, const pg::PgSolution* rough,
                               const FeatureOptions& options);
+
+/// Incrementally rebuild only the dirty channel groups of a stack previously
+/// produced by extract_features on a topology-identical design, replacing
+/// channels in place by name (stack layout and channel order are preserved,
+/// so downstream model inputs stay shape-identical). Channels untouched by
+/// `dirty` are reused verbatim — the whole point of the serve warm path.
+void refresh_features(FeatureStack& stack, const pg::PgDesign& design,
+                      const pg::PgSolution* rough, const FeatureOptions& options,
+                      const DirtyChannels& dirty);
 
 /// Golden label: bottom-layer IR drop image (volts).
 GridF label_map(const pg::PgDesign& design, const pg::PgSolution& golden,

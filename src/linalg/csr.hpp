@@ -55,6 +55,13 @@ class CsrMatrix {
   /// A^T as a new matrix.
   CsrMatrix transposed() const;
 
+  /// Heap bytes retained by the index/value arrays (capacity, not size, so
+  /// cache byte budgets see what the allocator actually holds).
+  std::size_t memory_bytes() const {
+    return row_ptr_.capacity() * sizeof(int) + col_idx_.capacity() * sizeof(int) +
+           values_.capacity() * sizeof(double);
+  }
+
  private:
   int rows_ = 0;
   int cols_ = 0;

@@ -11,6 +11,8 @@
 
 #include "check/check.hpp"
 #include "common/error.hpp"
+#include "common/parse.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -270,12 +272,21 @@ void shutdown() { Pool::instance().join_workers(); }
 
 int parse_threads_env(const char* value) {
   if (value == nullptr || *value == '\0') return hardware_threads();
-  char* end = nullptr;
-  const long n = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || n < 0 || n > 4096) {
-    throw ConfigError(std::string("IRF_THREADS must be a small non-negative integer, "
-                                  "got '") +
-                      value + "'");
+  // Never throw from here: this runs lazily inside the first parallel_for,
+  // where an exception would abort the process. Bad values warn and clamp.
+  const std::optional<std::int64_t> parsed = try_parse_int64(value);
+  if (!parsed) {
+    obs::info() << "IRF_THREADS='" << value
+                << "' is not an integer; using hardware concurrency";
+    return hardware_threads();
+  }
+  std::int64_t n = *parsed;
+  if (n < 0) {
+    obs::info() << "IRF_THREADS=" << n << " is negative; clamping to 1";
+    n = 1;
+  } else if (n > 4096) {
+    obs::info() << "IRF_THREADS=" << n << " is too large; clamping to 4096";
+    n = 4096;
   }
   return n == 0 ? hardware_threads() : static_cast<int>(n);
 }

@@ -1,0 +1,102 @@
+#include "pg/delta.hpp"
+
+#include <cstddef>
+
+namespace irf::pg {
+
+namespace {
+
+/// Structural equality of the element sets: counts, endpoints, and names.
+/// Values (ohms/amps/volts) are deliberately NOT compared here — those are
+/// the deltas the incremental path exists to absorb.
+bool same_topology(const spice::Netlist& base, const spice::Netlist& next) {
+  if (base.num_nodes() != next.num_nodes()) return false;
+  for (spice::NodeId id = 0; id < base.num_nodes(); ++id) {
+    if (base.node_name(id) != next.node_name(id)) return false;
+  }
+  if (base.resistors().size() != next.resistors().size() ||
+      base.current_sources().size() != next.current_sources().size() ||
+      base.voltage_sources().size() != next.voltage_sources().size() ||
+      base.capacitors().size() != next.capacitors().size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < base.resistors().size(); ++i) {
+    const spice::Resistor& a = base.resistors()[i];
+    const spice::Resistor& b = next.resistors()[i];
+    if (a.a != b.a || a.b != b.b) return false;
+  }
+  for (std::size_t i = 0; i < base.current_sources().size(); ++i) {
+    if (base.current_sources()[i].node != next.current_sources()[i].node) return false;
+  }
+  for (std::size_t i = 0; i < base.voltage_sources().size(); ++i) {
+    if (base.voltage_sources()[i].node != next.voltage_sources()[i].node) return false;
+  }
+  return true;
+}
+
+/// Capacitors must match exactly (endpoints AND values): a decap edit means
+/// transient behaviour changed in ways the static warm path cannot absorb.
+bool same_capacitors(const spice::Netlist& base, const spice::Netlist& next) {
+  for (std::size_t i = 0; i < base.capacitors().size(); ++i) {
+    const spice::Capacitor& a = base.capacitors()[i];
+    const spice::Capacitor& b = next.capacitors()[i];
+    if (a.a != b.a || a.b != b.b || a.farads != b.farads) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string DesignDelta::describe() const {
+  if (!compatible) return "incompatible";
+  if (identical()) return "identical";
+  std::string out;
+  if (currents_changed) out += "currents";
+  if (supply_changed) out += out.empty() ? "supply" : "+supply";
+  if (resistor_edits > 0) {
+    out += out.empty() ? "" : ",";
+    out += "r_edits=" + std::to_string(resistor_edits);
+  }
+  return out;
+}
+
+DesignDelta classify_design_delta(const PgDesign& base, const PgDesign& next,
+                                  int max_resistor_edits) {
+  DesignDelta delta;
+  if (base.width_nm != next.width_nm || base.height_nm != next.height_nm) return delta;
+  if (!same_topology(base.netlist, next.netlist)) return delta;
+  if (!same_capacitors(base.netlist, next.netlist)) return delta;
+
+  for (std::size_t i = 0; i < base.netlist.resistors().size(); ++i) {
+    if (base.netlist.resistors()[i].ohms != next.netlist.resistors()[i].ohms) {
+      ++delta.resistor_edits;
+    }
+  }
+  if (delta.resistor_edits > max_resistor_edits) {
+    delta.resistor_edits = 0;
+    return delta;  // too many stamp edits: treat as a different design
+  }
+
+  for (std::size_t i = 0; i < base.netlist.current_sources().size(); ++i) {
+    const spice::CurrentSource& a = base.netlist.current_sources()[i];
+    const spice::CurrentSource& b = next.netlist.current_sources()[i];
+    // A waveform appearing/disappearing changes the analysis kind, not just
+    // its values — bail out rather than warm-start across it.
+    if (a.waveform.has_value() != b.waveform.has_value()) return delta;
+    // PWL payloads are not compared point-by-point; the static path only
+    // consumes `amps`, so conservatively mark currents dirty when present.
+    if (a.amps != b.amps || a.waveform.has_value()) delta.currents_changed = true;
+  }
+
+  if (base.vdd != next.vdd) delta.supply_changed = true;
+  for (std::size_t i = 0; i < base.netlist.voltage_sources().size(); ++i) {
+    if (base.netlist.voltage_sources()[i].volts != next.netlist.voltage_sources()[i].volts) {
+      delta.supply_changed = true;
+    }
+  }
+
+  delta.compatible = true;
+  return delta;
+}
+
+}  // namespace irf::pg

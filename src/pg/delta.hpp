@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file delta.hpp
+/// Design-delta classification for incremental re-analysis. The serve engine
+/// asks: is `next` the same PDN as `base` up to a bounded value-only edit
+/// (new current map, scaled supply, a few resistor tweaks)? If so the cached
+/// AMG hierarchy, rough solution, and geometry-derived feature maps can all
+/// be reused; if not the engine falls back to the cold path.
+
+#include <string>
+
+#include "pg/design.hpp"
+
+namespace irf::pg {
+
+/// Outcome of comparing two designs. `compatible` means topology-identical
+/// (same nodes, same element endpoints, no capacitor changes) with at most
+/// the allowed number of resistor value edits; the remaining flags say which
+/// value groups actually differ so the caller invalidates only what changed.
+struct DesignDelta {
+  bool compatible = false;
+  bool currents_changed = false;
+  bool supply_changed = false;
+  int resistor_edits = 0;
+
+  /// Value-identical designs (a pure cache hit once compatible).
+  bool identical() const {
+    return compatible && !currents_changed && !supply_changed && resistor_edits == 0;
+  }
+
+  /// Short human-readable summary for spans/logs ("currents+supply,r_edits=2").
+  std::string describe() const;
+};
+
+/// Classify `next` against `base`. Never throws: any structural difference —
+/// node set, element endpoints, element counts, capacitor values, physical
+/// extent — yields `compatible == false`. `max_resistor_edits` bounds how
+/// many resistor value changes still count as an incremental delta.
+DesignDelta classify_design_delta(const PgDesign& base, const PgDesign& next,
+                                  int max_resistor_edits);
+
+}  // namespace irf::pg

@@ -25,7 +25,8 @@ struct PgSolution {
 
 /// Reusable solver context: assembles MNA and runs AMG setup once so that
 /// golden and rough solves share the hierarchy (exactly how the pipeline
-/// uses it).
+/// uses it). rebind() additionally lets a serve cache carry one context
+/// across value-only design edits without repeating the setup stage.
 class PgSolver {
  public:
   explicit PgSolver(const PgDesign& design,
@@ -37,14 +38,33 @@ class PgSolver {
   /// Run exactly `iterations` AMG-PCG iterations (rough solution mode).
   PgSolution solve_rough(int iterations) const;
 
+  /// Warm-started solve: start PCG from a previous solution in NODE space
+  /// (a PgSolution::node_voltage of a topology-identical design) and run to
+  /// `rel_tolerance` against the CURRENT matrix/rhs. Capped by
+  /// `max_iterations`; converges in a handful of iterations when the designs
+  /// are close.
+  PgSolution solve_warm(const linalg::Vec& prev_node_voltage, double rel_tolerance,
+                        int max_iterations) const;
+
+  /// Re-target this context at a topology-identical design: reassemble MNA,
+  /// swap the new conductance values into the frozen AMG hierarchy, adopt
+  /// the new rhs. Throws NumericError when the design's sparsity pattern
+  /// does not match (i.e. the topology actually changed) — the caller falls
+  /// back to building a fresh PgSolver. `design` must outlive this object.
+  void rebind(const PgDesign& design);
+
+  const PgDesign& design() const { return *design_; }
   const MnaSystem& system() const { return mna_; }
   const solver::AmgPcgSolver& amg_pcg() const { return *solver_; }
+
+  /// Heap bytes retained: MNA system + setup matrix + AMG hierarchy.
+  std::size_t memory_bytes() const;
 
  private:
   PgSolution finalize(const solver::SolveResult& result) const;
   linalg::Vec flat_supply_guess() const;
 
-  const PgDesign& design_;
+  const PgDesign* design_;
   MnaSystem mna_;
   std::unique_ptr<solver::AmgPcgSolver> solver_;
 };

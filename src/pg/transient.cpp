@@ -120,8 +120,9 @@ TransientResult TransientSolver::run() const {
     const double t = k * options_.timestep;
     load_rhs_at(t, rhs);
     for (int i = 0; i < m; ++i) rhs[static_cast<std::size_t>(i)] += cap_over_h_[i] * v[i];
-    // Warm start from the previous step's solution.
-    solver::SolveResult step = solver_->solve(rhs, step_opts, &v);
+    // Warm start from the previous step's solution via the shared solver
+    // entry point (same path the serve engine's incremental re-analysis uses).
+    solver::SolveResult step = solver_->solve_warm(rhs, v, step_opts);
     v = step.x;
     result.total_pcg_iterations += step.iterations;
     result.times.push_back(t);

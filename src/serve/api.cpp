@@ -49,4 +49,31 @@ std::uint64_t design_content_hash(const pg::PgDesign& design) {
   return h.value();
 }
 
+std::uint64_t design_topology_hash(const pg::PgDesign& design) {
+  Fnv1a64 h;
+  h.update_pod(design.width_nm);
+  h.update_pod(design.height_nm);
+  const spice::Netlist& nl = design.netlist;
+  const std::int32_t num_nodes = nl.num_nodes();
+  h.update_pod(num_nodes);
+  for (spice::NodeId id = 0; id < num_nodes; ++id) {
+    h.update_string(nl.node_name(id));
+  }
+  for (const spice::Resistor& r : nl.resistors()) {
+    h.update_pod(r.a);
+    h.update_pod(r.b);
+  }
+  for (const spice::CurrentSource& c : nl.current_sources()) {
+    h.update_pod(c.node);
+  }
+  for (const spice::VoltageSource& v : nl.voltage_sources()) {
+    h.update_pod(v.node);
+  }
+  for (const spice::Capacitor& c : nl.capacitors()) {
+    h.update_pod(c.a);
+    h.update_pod(c.b);
+  }
+  return h.value();
+}
+
 }  // namespace irf::serve

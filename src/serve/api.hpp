@@ -55,6 +55,8 @@ struct AnalysisResult {
 
   bool degraded = false;    ///< convenience mirror of status == kDegraded
   bool cache_hit = false;   ///< numerical+feature stage served from cache
+  bool warm_start = false;  ///< incremental re-analysis: cached hierarchy +
+                            ///< rough solution reused, only the delta recomputed
   int batch_size = 0;       ///< NN-forward batch this request rode in
   std::uint64_t design_hash = 0;  ///< content hash used as the cache key
   std::string design_name;
@@ -86,10 +88,28 @@ struct EngineOptions {
   /// the pipeline's own config governs then.
   int fallback_image_size = 64;
   int fallback_rough_iterations = 3;
+
+  /// Incremental re-analysis: when a request misses the content cache but a
+  /// cached entry has the identical topology up to a bounded value delta
+  /// (new current map, scaled supply, a few resistor edits), reuse its AMG
+  /// hierarchy, warm-start PCG from its rough solution and refresh only the
+  /// delta-dependent feature maps. Any classification or numerical failure
+  /// falls back to the cold path (docs/API.md "Incremental serving").
+  bool enable_warm_start = true;
+
+  /// How many resistor value edits still count as an incremental delta;
+  /// larger edit sets force the cold path.
+  int max_stamp_edits = 8;
 };
 
 /// Content hash of a design: geometry, supply, and every netlist element —
 /// but not the name, so re-parsed copies of one deck share a cache entry.
 std::uint64_t design_content_hash(const pg::PgDesign& design);
+
+/// Structure-only hash: node names, physical extent, and element endpoints,
+/// with every value (ohms/amps/volts/farads) excluded. Two designs that
+/// differ only in values collide here — exactly the candidates the warm
+/// path wants to find; pg::classify_design_delta then verifies for real.
+std::uint64_t design_topology_hash(const pg::PgDesign& design);
 
 }  // namespace irf::serve

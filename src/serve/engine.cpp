@@ -10,6 +10,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pg/delta.hpp"
 #include "serve/checkpoint.hpp"
 #include "train/normalizer.hpp"
 
@@ -50,8 +51,22 @@ struct Engine::CacheEntry {
   std::shared_ptr<const pg::PgDesign> design;
   std::unique_ptr<pg::PgSolver> solver;  ///< assembled MNA + AMG hierarchy
   train::Sample sample;                  ///< fused feature stacks + rough map
+  pg::PgSolution rough;                  ///< rough solution (warm-start seed)
+  std::uint64_t topology_hash = 0;       ///< warm-candidate lookup key
   std::size_t bytes = 0;
   std::uint64_t last_used = 0;
+
+  /// Every heap byte this entry keeps alive: both feature stacks, the
+  /// label/rough grids, the node-space rough solution, and the whole
+  /// MNA + AMG state. This is what the LRU budget must see — the grids
+  /// alone are a fraction of it.
+  std::size_t footprint_bytes() const {
+    std::size_t total = sample.hier.memory_bytes() + sample.flat.memory_bytes();
+    total += (sample.label.size() + sample.rough_bottom.size()) * sizeof(float);
+    total += (rough.node_voltage.capacity() + rough.ir_drop.capacity()) * sizeof(double);
+    if (solver) total += solver->memory_bytes();
+    return total;
+  }
 };
 
 Engine::Engine(core::IrFusionPipeline pipeline, EngineOptions options)
@@ -90,6 +105,8 @@ void Engine::start() {
   obs::count("serve.cache.hits", 0);
   obs::count("serve.cache.misses", 0);
   obs::count("serve.cache.evictions", 0);
+  obs::count("serve.warm_hits", 0);
+  obs::count("serve.warm_fallbacks", 0);
   obs::count("serve.degraded", 0);
   obs::count("serve.timeouts", 0);
   obs::count("serve.cancelled", 0);
@@ -266,7 +283,9 @@ void Engine::fulfil(Pending& pending, AnalysisResult result) {
 std::shared_ptr<Engine::CacheEntry> Engine::lookup_or_build(
     const AnalysisRequest& request, AnalysisResult& result) {
   const std::uint64_t hash = design_content_hash(*request.design);
+  const std::uint64_t topo_hash = design_topology_hash(*request.design);
   result.design_hash = hash;
+  std::shared_ptr<CacheEntry> warm_candidate;
   {
     std::lock_guard<std::mutex> lk(cache_mutex_);
     auto it = cache_.find(hash);
@@ -277,17 +296,36 @@ std::shared_ptr<Engine::CacheEntry> Engine::lookup_or_build(
       obs::count("serve.cache.hits");
       return it->second;
     }
+    if (options_.enable_warm_start) {
+      // Most recently used entry with the same topology; its solver may
+      // already have been stolen by an earlier warm build, so require one.
+      for (const auto& [key, candidate] : cache_) {
+        (void)key;
+        if (candidate->topology_hash != topo_hash || !candidate->solver) continue;
+        if (!warm_candidate || candidate->last_used > warm_candidate->last_used) {
+          warm_candidate = candidate;
+        }
+      }
+    }
   }
   obs::count("serve.cache.misses");
+  if (warm_candidate) {
+    std::shared_ptr<CacheEntry> warm =
+        build_warm(request, hash, topo_hash, warm_candidate, result);
+    if (warm) return warm;
+  }
   obs::ScopedSpan span("serve_numerical", "serve");
+  span.add_arg("warm", 0);
   auto entry = std::make_shared<CacheEntry>();
   entry->design = request.design;
+  entry->topology_hash = topo_hash;
   entry->solver = std::make_unique<pg::PgSolver>(*entry->design);
   const int iterations = pipeline_ ? pipeline_->config().rough_iterations
                                    : options_.fallback_rough_iterations;
   const int image_size =
       pipeline_ ? pipeline_->config().image_size : options_.fallback_image_size;
-  const pg::PgSolution rough = entry->solver->solve_rough(iterations);
+  entry->rough = entry->solver->solve_rough(iterations);
+  const pg::PgSolution& rough = entry->rough;
 
   train::Sample& sample = entry->sample;
   sample.design_name = entry->design->name;
@@ -307,12 +345,9 @@ std::shared_ptr<Engine::CacheEntry> Engine::lookup_or_build(
   sample.rough_bottom = features::label_map(*entry->design, rough, image_size);
   result.numerical_seconds = span.seconds();
 
-  // Footprint estimate: feature/label grids plus the sparse system and its
-  // AMG hierarchy (~1.5x the fine-level nonzeros across coarse levels).
-  std::size_t grids = sample.hier.channels.size() + sample.flat.channels.size() + 2;
-  entry->bytes = grids * static_cast<std::size_t>(image_size) * image_size * sizeof(float);
-  const std::size_t nnz = entry->solver->system().conductance.nnz();
-  entry->bytes += nnz * (sizeof(double) + sizeof(int)) * 5 / 2;
+  // Account every retained byte — feature stacks, rough solution, and the
+  // full MNA + AMG hierarchy — so the LRU budget matches reality.
+  entry->bytes = entry->footprint_bytes();
 
   std::lock_guard<std::mutex> lk(cache_mutex_);
   entry->last_used = ++lru_tick_;
@@ -324,6 +359,123 @@ std::shared_ptr<Engine::CacheEntry> Engine::lookup_or_build(
     evict_to_budget();
   }
   return entry;
+}
+
+std::shared_ptr<Engine::CacheEntry> Engine::build_warm(
+    const AnalysisRequest& request, std::uint64_t content_hash,
+    std::uint64_t topology_hash, const std::shared_ptr<CacheEntry>& base,
+    AnalysisResult& result) {
+  const pg::DesignDelta delta = pg::classify_design_delta(
+      *base->design, *request.design, options_.max_stamp_edits);
+  if (!delta.compatible) {
+    {
+      std::lock_guard<std::mutex> lk(cache_mutex_);
+      ++stats_.warm_fallbacks;
+    }
+    obs::count("serve.warm_fallbacks");
+    obs::verbose() << "serve: warm candidate for " << request.design->name
+                   << " rejected (" << delta.describe() << "); cold build";
+    return nullptr;
+  }
+  // Steal the base entry's solver (MNA + AMG hierarchy). The base entry may
+  // still back in-flight batch work through its sample, so the sample is
+  // COPIED below and only the solver moves. The solver-less base stays
+  // cached — it can still serve exact content hits, it just cannot seed
+  // another warm build — with its byte accounting shrunk accordingly.
+  std::unique_ptr<pg::PgSolver> solver;
+  {
+    std::lock_guard<std::mutex> lk(cache_mutex_);
+    solver = std::move(base->solver);
+    if (solver) {
+      stats_.cache_bytes -= base->bytes;
+      base->bytes = base->footprint_bytes();
+      stats_.cache_bytes += base->bytes;
+      obs::set_gauge("serve.cache.bytes", static_cast<double>(stats_.cache_bytes));
+    }
+  }
+  if (!solver) {
+    std::lock_guard<std::mutex> lk(cache_mutex_);
+    ++stats_.warm_fallbacks;
+    obs::count("serve.warm_fallbacks");
+    return nullptr;
+  }
+  try {
+    obs::ScopedSpan span("serve_numerical", "serve");
+    span.add_arg("warm", 1);
+    auto entry = std::make_shared<CacheEntry>();
+    entry->design = request.design;
+    entry->topology_hash = topology_hash;
+    entry->sample = base->sample;  // copy: base may be referenced by in-flight work
+    entry->sample.design_name = request.design->name;
+    entry->sample.kind = request.design->kind;
+
+    // Re-target the cached context: new matrix values under the frozen AMG
+    // hierarchy (rebind throws if the topology check above was fooled), then
+    // warm-start PCG from the cached rough solution toward the same residual
+    // quality the cold rough solve achieved.
+    solver->rebind(*entry->design);
+    const int iterations = pipeline_ ? pipeline_->config().rough_iterations
+                                     : options_.fallback_rough_iterations;
+    const int image_size =
+        pipeline_ ? pipeline_->config().image_size : options_.fallback_image_size;
+    const double target_residual =
+        std::max(base->rough.final_relative_residual, 1e-14);
+    const int max_iterations = std::max(2 * iterations, 8);
+    entry->rough =
+        solver->solve_warm(base->rough.node_voltage, target_residual, max_iterations);
+    entry->solver = std::move(solver);
+
+    // Refresh only the feature groups the delta actually dirtied; geometry
+    // maps (eff_dist, pdn_density_*) carry over untouched.
+    features::DirtyChannels dirty;
+    dirty.numerical = delta.currents_changed || delta.supply_changed ||
+                      delta.resistor_edits > 0;
+    dirty.currents = delta.currents_changed || delta.resistor_edits > 0;
+    dirty.wire_values = delta.resistor_edits > 0;
+    if (pipeline_) {
+      features::FeatureOptions opts;
+      opts.image_size = image_size;
+      opts.hierarchical = true;
+      opts.include_numerical = true;
+      features::refresh_features(entry->sample.hier, *entry->design, &entry->rough,
+                                 opts, dirty);
+      opts.hierarchical = false;
+      features::refresh_features(entry->sample.flat, *entry->design, &entry->rough,
+                                 opts, dirty);
+    }
+    if (dirty.numerical) {
+      entry->sample.rough_bottom =
+          features::label_map(*entry->design, entry->rough, image_size);
+    }
+    result.numerical_seconds = span.seconds();
+    result.warm_start = true;
+    span.add_arg("resistor_edits", delta.resistor_edits);
+    span.add_arg("warm_iterations", entry->rough.iterations);
+
+    entry->bytes = entry->footprint_bytes();
+    {
+      std::lock_guard<std::mutex> lk(cache_mutex_);
+      entry->last_used = ++lru_tick_;
+      ++stats_.cache_misses;
+      ++stats_.warm_hits;
+      auto [it, inserted] = cache_.emplace(content_hash, entry);
+      (void)it;
+      if (inserted) stats_.cache_bytes += entry->bytes;
+      stats_.cache_entries = static_cast<int>(cache_.size());
+      evict_to_budget();
+    }
+    obs::count("serve.warm_hits");
+    return entry;
+  } catch (const std::exception& e) {
+    // The stolen solver dies with this frame; the base keeps serving exact
+    // content hits from its sample. The caller rebuilds cold.
+    obs::info() << "serve: warm re-analysis of " << request.design->name
+                << " failed (" << e.what() << "); cold rebuild";
+    std::lock_guard<std::mutex> lk(cache_mutex_);
+    ++stats_.warm_fallbacks;
+    obs::count("serve.warm_fallbacks");
+    return nullptr;
+  }
 }
 
 void Engine::evict_to_budget() {

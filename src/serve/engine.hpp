@@ -20,9 +20,15 @@
 ///    cancellation, and graceful degradation to the rough numerical map —
 ///    flagged in the result — when no model is loaded or inference throws.
 ///
+///  * incremental re-analysis: a content-cache miss whose design matches a
+///    cached entry's topology up to a bounded value delta reuses that
+///    entry's AMG hierarchy and rough solution (warm-started PCG) and
+///    refreshes only the delta-dependent feature maps (docs/API.md).
+///
 /// Telemetry: serve.queue.depth / serve.cache.bytes gauges, cache
-/// hit/miss/eviction + degraded/timeout counters, and serve_batch /
-/// serve_numerical / serve_infer spans (docs/OBSERVABILITY.md).
+/// hit/miss/eviction + warm_hits/warm_fallbacks + degraded/timeout
+/// counters, and serve_batch / serve_numerical (warm arg) / serve_infer
+/// spans (docs/OBSERVABILITY.md).
 
 #include <condition_variable>
 #include <cstdint>
@@ -51,6 +57,8 @@ struct EngineStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  std::uint64_t warm_hits = 0;       ///< misses served by incremental re-analysis
+  std::uint64_t warm_fallbacks = 0;  ///< warm candidates rejected or failed
   std::uint64_t degraded = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t cancelled = 0;
@@ -129,6 +137,16 @@ class Engine {
   void process_batch(std::vector<std::shared_ptr<Pending>> batch);
   std::shared_ptr<CacheEntry> lookup_or_build(const AnalysisRequest& request,
                                               AnalysisResult& result);
+  /// Incremental fast path: serve a content-cache miss from a
+  /// topology-identical cached entry (delta-classified, hierarchy reused,
+  /// PCG warm-started, dirty features refreshed). Returns nullptr — after
+  /// counting a warm fallback — when the delta is incompatible or the warm
+  /// build fails; the caller then runs the cold path.
+  std::shared_ptr<CacheEntry> build_warm(const AnalysisRequest& request,
+                                         std::uint64_t content_hash,
+                                         std::uint64_t topology_hash,
+                                         const std::shared_ptr<CacheEntry>& base,
+                                         AnalysisResult& result);
   void evict_to_budget();
   void fulfil(Pending& pending, AnalysisResult result);
 

@@ -62,6 +62,19 @@ double AmgHierarchy::operator_complexity() const {
   return total / static_cast<double>(levels_.front().matrix.nnz());
 }
 
+std::size_t AmgHierarchy::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const AmgLevel& l : levels_) {
+    bytes += l.matrix.memory_bytes();
+    if (l.to_coarse) bytes += l.to_coarse->aggregate_of.capacity() * sizeof(int);
+  }
+  if (coarse_solver_) {
+    const std::size_t n = static_cast<std::size_t>(coarse_solver_->size());
+    bytes += n * n * sizeof(double);  // full row-major lower-triangle storage
+  }
+  return bytes;
+}
+
 void AmgHierarchy::apply(const Vec& r, Vec& z) {
   if (r.size() != static_cast<std::size_t>(levels_.front().matrix.rows())) {
     throw DimensionError("AMG apply size mismatch");

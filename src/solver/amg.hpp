@@ -66,6 +66,9 @@ class AmgHierarchy final : public Preconditioner {
   double grid_complexity() const;
   /// Operator complexity: sum of nnz across levels / fine nnz.
   double operator_complexity() const;
+  /// Heap bytes retained by all level operators, aggregation maps, and the
+  /// coarse Cholesky factor — what a cache keeping this hierarchy alive pays.
+  std::size_t memory_bytes() const;
 
   /// Apply one cycle as the preconditioner: z ~= A^{-1} r.
   void apply(const linalg::Vec& r, linalg::Vec& z) override;

@@ -1,5 +1,7 @@
 #include "solver/amg_pcg.hpp"
 
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace irf::solver {
@@ -34,6 +36,24 @@ SolveResult AmgPcgSolver::solve_golden(const linalg::Vec& b, double rel_toleranc
   options.max_iterations = max_iterations;
   options.rel_tolerance = rel_tolerance;
   return solve(b, options, x0);
+}
+
+SolveResult AmgPcgSolver::solve_warm(const linalg::Vec& b, const linalg::Vec& x0,
+                                     const SolveOptions& options) const {
+  return solve(b, options, &x0);
+}
+
+void AmgPcgSolver::update_matrix_values(const linalg::CsrMatrix& a) {
+  // Hierarchy reuse guard: the frozen preconditioner is only meaningful when
+  // the new operator lives on the same sparsity pattern the setup stage saw.
+  if (a.rows() != matrix_.rows() || a.cols() != matrix_.cols() ||
+      a.row_ptr() != matrix_.row_ptr() || a.col_idx() != matrix_.col_idx()) {
+    throw NumericError(
+        "update_matrix_values: sparsity pattern differs from the setup matrix; "
+        "the AMG hierarchy cannot be reused (rebuild the solver)");
+  }
+  matrix_.mutable_values() = a.values();
+  obs::count("solver.hierarchy_reuses");
 }
 
 }  // namespace irf::solver

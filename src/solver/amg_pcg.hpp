@@ -35,8 +35,26 @@ class AmgPcgSolver {
                            int max_iterations = 2000,
                            const linalg::Vec* x0 = nullptr) const;
 
+  /// Warm start from a previous solution of a nearby system. Same as solve()
+  /// but x0 is required — named so call sites read as what they are.
+  SolveResult solve_warm(const linalg::Vec& b, const linalg::Vec& x0,
+                         const SolveOptions& options) const;
+
+  /// Swap in new matrix values while keeping the AMG hierarchy frozen — the
+  /// incremental re-analysis path after bounded stamp edits. The flexible
+  /// (K-cycle) PCG tolerates the now-approximate preconditioner; outer
+  /// residuals are always measured against the NEW matrix. Throws
+  /// NumericError when `a`'s sparsity pattern differs from the setup matrix,
+  /// which is the guard against reusing a hierarchy across topology changes.
+  void update_matrix_values(const linalg::CsrMatrix& a);
+
   const AmgHierarchy& hierarchy() const { return *hierarchy_; }
   double setup_seconds() const { return setup_seconds_; }
+
+  /// Heap bytes retained by the setup matrix plus the AMG hierarchy.
+  std::size_t memory_bytes() const {
+    return matrix_.memory_bytes() + hierarchy_->memory_bytes();
+  }
 
  private:
   linalg::CsrMatrix matrix_;

@@ -96,6 +96,24 @@ void Netlist::scale_current_sources(double factor) {
   }
 }
 
+void Netlist::scale_voltage_sources(double factor) {
+  for (VoltageSource& v : voltage_sources_) v.volts *= factor;
+}
+
+void Netlist::set_resistor_ohms(std::size_t index, double ohms) {
+  if (index >= resistors_.size()) {
+    throw DimensionError("set_resistor_ohms: index " + std::to_string(index) +
+                         " out of range (netlist has " +
+                         std::to_string(resistors_.size()) + " resistors)");
+  }
+  Resistor& r = resistors_[index];
+  if (ohms <= 0.0) {
+    throw ParseError("resistor " + r.name + " must be positive, got " +
+                     std::to_string(ohms));
+  }
+  r.ohms = ohms;
+}
+
 std::vector<int> Netlist::layers() const {
   std::set<int> layer_set;
   for (const auto& c : node_coords_) {

@@ -83,6 +83,15 @@ class Netlist {
   /// to hit a target worst-case drop exactly.
   void scale_current_sources(double factor);
 
+  /// Scale every voltage source by `factor` — per-corner supply scaling,
+  /// one of the bounded deltas the serve engine re-analyzes incrementally.
+  void scale_voltage_sources(double factor);
+
+  /// Overwrite the resistance of resistor `index` (an ECO stamp edit).
+  /// Throws DimensionError when the index is out of range and ParseError
+  /// when `ohms` is not positive.
+  void set_resistor_ohms(std::size_t index, double ohms);
+
   const std::vector<Resistor>& resistors() const { return resistors_; }
   const std::vector<CurrentSource>& current_sources() const { return current_sources_; }
   const std::vector<VoltageSource>& voltage_sources() const { return voltage_sources_; }

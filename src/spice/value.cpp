@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "common/string_util.hpp"
 
 namespace irf::spice {
@@ -14,12 +15,9 @@ double parse_value(std::string_view token) {
   const std::string text = trim(token);
   if (text.empty()) throw ParseError("empty SPICE value");
   std::size_t pos = 0;
-  double base = 0.0;
-  try {
-    base = std::stod(text, &pos);
-  } catch (const std::exception&) {
-    throw ParseError("bad SPICE value '" + text + "'");
-  }
+  const std::optional<double> parsed = try_parse_double_prefix(text, &pos);
+  if (!parsed) throw ParseError("bad SPICE value '" + text + "'");
+  const double base = *parsed;
   std::string suffix = to_lower(std::string_view(text).substr(pos));
   // SPICE ignores trailing unit letters after a recognized suffix ("kohm").
   double mult = 1.0;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -11,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/grid2d.hpp"
 #include "common/image_io.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/string_util.hpp"
@@ -200,6 +202,52 @@ TEST(ScaleConfig, DescribeMentionsScale) {
 TEST(Stopwatch, MeasuresNonNegative) {
   Stopwatch sw;
   EXPECT_GE(sw.seconds(), 0.0);
+}
+
+TEST(Parse, DoubleFullString) {
+  EXPECT_DOUBLE_EQ(try_parse_double("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(try_parse_double("-2e3").value(), -2000.0);
+  EXPECT_DOUBLE_EQ(try_parse_double("+.5").value(), 0.5);
+  EXPECT_FALSE(try_parse_double("").has_value());
+  EXPECT_FALSE(try_parse_double("12abc").has_value());  // stod would return 12
+  EXPECT_FALSE(try_parse_double("abc").has_value());
+  EXPECT_FALSE(try_parse_double("0x1a").has_value());  // strtod accepts hex
+  EXPECT_FALSE(try_parse_double("inf").has_value());
+  EXPECT_FALSE(try_parse_double("nan").has_value());
+  EXPECT_FALSE(try_parse_double("1e999").has_value());  // overflow
+}
+
+TEST(Parse, DoublePrefixReportsConsumed) {
+  std::size_t consumed = 0;
+  EXPECT_DOUBLE_EQ(try_parse_double_prefix("4.7k", &consumed).value(), 4.7);
+  EXPECT_EQ(consumed, 3u);
+  EXPECT_FALSE(try_parse_double_prefix("k4.7", &consumed).has_value());
+}
+
+TEST(Parse, Int64) {
+  EXPECT_EQ(try_parse_int64("-42").value(), -42);
+  EXPECT_EQ(try_parse_int64("0").value(), 0);
+  EXPECT_FALSE(try_parse_int64("").has_value());
+  EXPECT_FALSE(try_parse_int64("12 ").has_value());
+  EXPECT_FALSE(try_parse_int64("9223372036854775808").has_value());  // INT64_MAX+1
+}
+
+TEST(Parse, Uint64RejectsNegativeWrap) {
+  // std::stoull("-5") silently wraps to 18446744073709551611.
+  EXPECT_FALSE(try_parse_uint64("-5").has_value());
+  EXPECT_EQ(try_parse_uint64("18446744073709551615").value(), UINT64_MAX);
+  EXPECT_FALSE(try_parse_uint64("18446744073709551616").has_value());
+  EXPECT_FALSE(try_parse_uint64("7seven").has_value());
+}
+
+TEST(ScaleConfig, SeedEnvValidation) {
+  ::setenv("IRF_SEED", "77", 1);
+  EXPECT_EQ(resolve_scale_from_env().seed, 77u);
+  ::setenv("IRF_SEED", "12abc", 1);
+  EXPECT_THROW(resolve_scale_from_env(), ConfigError);
+  ::setenv("IRF_SEED", "-5", 1);
+  EXPECT_THROW(resolve_scale_from_env(), ConfigError);
+  ::unsetenv("IRF_SEED");
 }
 
 }  // namespace

@@ -50,10 +50,13 @@ TEST(ParPool, ParseThreadsEnv) {
   EXPECT_EQ(par::parse_threads_env("0"), par::hardware_threads());
   EXPECT_EQ(par::parse_threads_env("1"), 1);
   EXPECT_EQ(par::parse_threads_env("8"), 8);
-  EXPECT_THROW(par::parse_threads_env("abc"), ConfigError);
-  EXPECT_THROW(par::parse_threads_env("-2"), ConfigError);
-  EXPECT_THROW(par::parse_threads_env("4x"), ConfigError);
-  EXPECT_THROW(par::parse_threads_env("100000"), ConfigError);
+  // Bad values never throw (the parse runs lazily inside parallel_for):
+  // garbage falls back to hardware concurrency, out-of-range clamps.
+  EXPECT_EQ(par::parse_threads_env("abc"), par::hardware_threads());
+  EXPECT_EQ(par::parse_threads_env("4x"), par::hardware_threads());
+  EXPECT_EQ(par::parse_threads_env("-2"), 1);
+  EXPECT_EQ(par::parse_threads_env("100000"), 4096);
+  EXPECT_EQ(par::parse_threads_env("99999999999999999999"), par::hardware_threads());
 }
 
 TEST(ParPool, ParallelForCoversRangeOnce) {

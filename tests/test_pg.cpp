@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "linalg/dense.hpp"
+#include "pg/delta.hpp"
 #include "pg/generator.hpp"
 #include "pg/mna.hpp"
 #include "pg/solve.hpp"
@@ -176,6 +177,170 @@ TEST(PgSolver, PadVoltagesExact) {
   for (spice::NodeId pad : topo.pad_nodes()) {
     EXPECT_DOUBLE_EQ(sol.node_voltage[pad], d.vdd);
     EXPECT_DOUBLE_EQ(sol.ir_drop[pad], 0.0);
+  }
+}
+
+// --- design-delta classification (incremental re-analysis) -----------------
+
+TEST(DesignDelta, IdenticalDesignsAreCompatible) {
+  Rng rng(21);
+  PgDesign d = generate_fake_design(32, rng, "ident");
+  DesignDelta delta = classify_design_delta(d, d, 8);
+  EXPECT_TRUE(delta.compatible);
+  EXPECT_TRUE(delta.identical());
+  EXPECT_EQ(delta.describe(), "identical");
+}
+
+TEST(DesignDelta, CurrentOnlyEdit) {
+  Rng rng(22);
+  PgDesign d = generate_fake_design(32, rng, "cur");
+  PgDesign next = d;
+  next.netlist.scale_current_sources(1.3);
+  DesignDelta delta = classify_design_delta(d, next, 8);
+  EXPECT_TRUE(delta.compatible);
+  EXPECT_TRUE(delta.currents_changed);
+  EXPECT_FALSE(delta.supply_changed);
+  EXPECT_EQ(delta.resistor_edits, 0);
+  EXPECT_FALSE(delta.identical());
+}
+
+TEST(DesignDelta, SupplyOnlyEdit) {
+  Rng rng(23);
+  PgDesign d = generate_fake_design(32, rng, "sup");
+  PgDesign next = d;
+  next.vdd *= 0.95;
+  next.netlist.scale_voltage_sources(0.95);
+  DesignDelta delta = classify_design_delta(d, next, 8);
+  EXPECT_TRUE(delta.compatible);
+  EXPECT_TRUE(delta.supply_changed);
+  EXPECT_FALSE(delta.currents_changed);
+  EXPECT_EQ(delta.resistor_edits, 0);
+}
+
+TEST(DesignDelta, ResistorEditsWithinAndOverBudget) {
+  Rng rng(24);
+  PgDesign d = generate_fake_design(32, rng, "eco");
+  PgDesign next = d;
+  for (std::size_t i = 0; i < 3; ++i) {
+    next.netlist.set_resistor_ohms(i, d.netlist.resistors()[i].ohms * 2.0);
+  }
+  DesignDelta within = classify_design_delta(d, next, 8);
+  EXPECT_TRUE(within.compatible);
+  EXPECT_EQ(within.resistor_edits, 3);
+  DesignDelta over = classify_design_delta(d, next, 2);
+  EXPECT_FALSE(over.compatible);
+}
+
+TEST(DesignDelta, StructuralChangesAreIncompatible) {
+  Rng rng(25);
+  PgDesign d = generate_fake_design(32, rng, "topo");
+
+  PgDesign grown = d;
+  grown.netlist.add_resistor("Rx", 0, 1, 1.0);
+  EXPECT_FALSE(classify_design_delta(d, grown, 8).compatible);
+
+  PgDesign stretched = d;
+  stretched.width_nm *= 2;
+  EXPECT_FALSE(classify_design_delta(d, stretched, 8).compatible);
+  EXPECT_EQ(classify_design_delta(d, stretched, 8).describe(), "incompatible");
+}
+
+TEST(DesignDelta, CapacitorValueChangeIsIncompatible) {
+  // Caps enter the transient system, not the static one; the serve warm path
+  // treats any cap edit as structural and rebuilds cold.
+  Rng rng(26);
+  PgDesign base = generate_fake_design(32, rng, "cap");
+  PgDesign lhs = base;
+  PgDesign rhs = base;
+  lhs.netlist.add_capacitor("C1", 0, 1, 1e-12);
+  rhs.netlist.add_capacitor("C1", 0, 1, 1e-12);
+  EXPECT_TRUE(classify_design_delta(lhs, rhs, 8).compatible);
+  PgDesign retuned = base;
+  retuned.netlist.add_capacitor("C1", 0, 1, 2e-12);  // same endpoints, new value
+  EXPECT_FALSE(classify_design_delta(lhs, retuned, 8).compatible);
+}
+
+// --- warm-started solves over a rebound context ----------------------------
+
+TEST(PgSolver, WarmStartOnIdenticalInputReturnsTheSeed) {
+  Rng rng(27);
+  PgDesign d = generate_fake_design(32, rng, "warm_id");
+  PgSolver solver(d);
+  PgSolution rough = solver.solve_rough(3);
+  // Seeding with a solution already at the target residual converges in zero
+  // iterations and returns the seed untouched.
+  PgSolution warm = solver.solve_warm(
+      rough.node_voltage, rough.final_relative_residual * 1.01, 8);
+  EXPECT_EQ(warm.iterations, 0);
+  EXPECT_EQ(warm.node_voltage, rough.node_voltage);
+}
+
+TEST(PgSolver, RebindPlusWarmMatchesColdWithinTightTolerance) {
+  Rng rng(28);
+  PgDesign d = generate_fake_design(32, rng, "warm_eco");
+  PgSolver solver(d);
+  PgSolution base = solver.solve_rough(3);
+
+  PgDesign eco = d;
+  eco.netlist.scale_current_sources(1.05);
+  eco.netlist.set_resistor_ohms(0, d.netlist.resistors()[0].ohms * 1.5);
+
+  // Warm: frozen hierarchy + rebound values + seeded PCG.
+  solver.rebind(eco);
+  PgSolution warm = solver.solve_warm(base.node_voltage, 1e-10, 200);
+  EXPECT_TRUE(warm.converged);
+
+  // Cold: fresh context on the edited design, same tolerance.
+  PgSolver cold(eco);
+  PgSolution cold_sol = cold.solve_golden(1e-10);
+  ASSERT_EQ(warm.ir_drop.size(), cold_sol.ir_drop.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < warm.ir_drop.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(warm.ir_drop[i] - cold_sol.ir_drop[i]));
+  }
+  EXPECT_LT(max_diff, 1e-8);
+}
+
+TEST(PgSolver, RebindRejectsTopologyChange) {
+  Rng rng(29);
+  PgDesign d = generate_fake_design(32, rng, "rebind_bad");
+  PgSolver solver(d);
+  solver.solve_rough(2);
+  // A new resistor between two non-adjacent interior nodes adds an
+  // off-diagonal nonzero, so the sparsity pattern no longer matches the
+  // frozen hierarchy. (Between adjacent nodes it would merge into an
+  // existing entry and legitimately rebind as a value edit.)
+  const std::vector<int>& node_to_eq = solver.system().node_to_eq;
+  spice::NodeId a = -1, b = -1;
+  for (spice::NodeId n = 0; n < d.netlist.num_nodes(); ++n) {
+    if (node_to_eq[n] >= 0) { a = n; break; }
+  }
+  for (spice::NodeId n = d.netlist.num_nodes() - 1; n >= 0; --n) {
+    if (node_to_eq[n] >= 0 && n != a) { b = n; break; }
+  }
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  for (const spice::Resistor& r : d.netlist.resistors()) {
+    ASSERT_FALSE((r.a == a && r.b == b) || (r.a == b && r.b == a));
+  }
+  PgDesign grown = d;
+  grown.netlist.add_resistor("Rx", a, b, 1.0);
+  EXPECT_THROW(solver.rebind(grown), NumericError);
+}
+
+TEST(PgSolver, RebindTracksSupplyScaling) {
+  Rng rng(30);
+  PgDesign d = generate_fake_design(32, rng, "rebind_vdd");
+  PgSolver solver(d);
+  PgSolution base = solver.solve_rough(3);
+  PgDesign corner = d;
+  corner.vdd *= 1.1;
+  corner.netlist.scale_voltage_sources(1.1);
+  solver.rebind(corner);
+  PgSolution warm = solver.solve_warm(base.node_voltage, 1e-10, 200);
+  spice::CircuitTopology topo(corner.netlist);
+  for (spice::NodeId pad : topo.pad_nodes()) {
+    EXPECT_NEAR(warm.node_voltage[pad], corner.vdd, 1e-9);
   }
 }
 

@@ -212,6 +212,10 @@ TEST(EngineOptionsValidation, RejectsBadOptions) {
 TEST_F(ServeFixture, EngineMatchesDirectAnalyzeAcrossABatch) {
   EngineOptions opts;
   opts.start_paused = true;  // force all requests into one dispatch batch
+  // Generated fake designs of one size share a topology, so incremental
+  // re-analysis would engage between them; this test pins the cold path's
+  // bit-identity contract, so warm starts are off.
+  opts.enable_warm_start = false;
   auto engine = Engine::from_checkpoint(*checkpoint_path_, opts);
   ASSERT_TRUE(engine->has_model());
 
@@ -268,6 +272,7 @@ TEST_F(ServeFixture, EngineCachesPerDesignState) {
 TEST_F(ServeFixture, EngineEvictsLeastRecentlyUsedUnderBudget) {
   EngineOptions opts;
   opts.cache_budget_bytes = 1;  // every second distinct design must evict
+  opts.enable_warm_start = false;  // pin the cold rebuild's bit-identity
   auto engine = Engine::from_checkpoint(*checkpoint_path_, opts);
   ASSERT_GE(set_->train.size(), 2u);
   const pg::PgDesign& a = *set_->train[0].design;
@@ -281,6 +286,177 @@ TEST_F(ServeFixture, EngineEvictsLeastRecentlyUsedUnderBudget) {
   AnalysisResult again = engine->analyze(a);
   EXPECT_FALSE(again.cache_hit);
   EXPECT_EQ(again.ir_drop.data(), pipeline_->analyze(a).data());
+}
+
+// --- engine: incremental re-analysis (warm start) --------------------------
+
+/// Copy of `base` with every current source scaled: the canonical bounded
+/// delta — identical topology, new current map.
+pg::PgDesign scaled_current_copy(const pg::PgDesign& base, double factor) {
+  pg::PgDesign d = base;
+  d.netlist.scale_current_sources(factor);
+  return d;
+}
+
+TEST(DesignTopologyHash, InvariantToValuesSensitiveToStructure) {
+  Rng rng(7);
+  pg::PgDesign a = pg::generate_fake_design(32, rng, "alpha");
+  pg::PgDesign scaled = a;
+  scaled.netlist.scale_current_sources(3.0);
+  scaled.netlist.scale_voltage_sources(1.1);
+  scaled.netlist.set_resistor_ohms(0, a.netlist.resistors()[0].ohms * 2.0);
+  EXPECT_EQ(design_topology_hash(a), design_topology_hash(scaled));
+  EXPECT_NE(design_content_hash(a), design_content_hash(scaled));
+
+  pg::PgDesign grown = a;
+  grown.netlist.add_resistor("Rextra", 0, 1, 1.0);
+  EXPECT_NE(design_topology_hash(a), design_topology_hash(grown));
+
+  // Two generated fakes of one size differ only in source values — the warm
+  // path's canonical candidate pair.
+  Rng rng2(8);
+  pg::PgDesign c = pg::generate_fake_design(32, rng2, "gamma");
+  EXPECT_EQ(design_topology_hash(a), design_topology_hash(c));
+}
+
+TEST_F(ServeFixture, WarmStartServesCurrentOnlyDelta) {
+  auto engine = Engine::from_checkpoint(*checkpoint_path_);
+  const pg::PgDesign& base = *set_->train[0].design;
+  ASSERT_TRUE(engine->analyze(base).ok());
+
+  const pg::PgDesign eco = scaled_current_copy(base, 1.07);
+  AnalysisResult r = engine->analyze(eco);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_TRUE(r.warm_start);
+  EXPECT_EQ(r.ir_drop.data().size(), std::size_t{32 * 32});
+  EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.warm_hits, 1u);
+  EXPECT_EQ(stats.warm_fallbacks, 0u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+
+  // The warm entry is a first-class cache entry: the same deck now hits,
+  // bit-identically.
+  AnalysisResult again = engine->analyze(eco);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.ir_drop.data(), r.ir_drop.data());
+  // And the base entry survived donating its solver: exact hits still work.
+  AnalysisResult base_again = engine->analyze(base);
+  EXPECT_TRUE(base_again.cache_hit);
+  stats = engine->stats();
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_entries, 2);
+}
+
+TEST_F(ServeFixture, WarmStartServesSupplyOnlyDelta) {
+  auto engine = Engine::from_checkpoint(*checkpoint_path_);
+  const pg::PgDesign& base = *set_->train[0].design;
+  ASSERT_TRUE(engine->analyze(base).ok());
+  pg::PgDesign corner = base;
+  corner.vdd *= 1.05;
+  corner.netlist.scale_voltage_sources(1.05);
+  AnalysisResult r = engine->analyze(corner);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.warm_start);
+  EXPECT_EQ(engine->stats().warm_hits, 1u);
+}
+
+TEST_F(ServeFixture, WarmStartAcceptsBoundedResistorEdits) {
+  auto engine = Engine::from_checkpoint(*checkpoint_path_);  // max_stamp_edits = 8
+  const pg::PgDesign& base = *set_->train[0].design;
+  ASSERT_TRUE(engine->analyze(base).ok());
+  pg::PgDesign eco = base;
+  for (std::size_t i = 0; i < 3; ++i) {
+    eco.netlist.set_resistor_ohms(i, base.netlist.resistors()[i].ohms * 2.0);
+  }
+  AnalysisResult r = engine->analyze(eco);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.warm_start);
+  EXPECT_EQ(engine->stats().warm_hits, 1u);
+}
+
+TEST_F(ServeFixture, WarmStartFallsBackWhenDeltaTooLarge) {
+  EngineOptions opts;
+  opts.max_stamp_edits = 2;
+  auto engine = Engine::from_checkpoint(*checkpoint_path_, opts);
+  const pg::PgDesign& base = *set_->train[0].design;
+  ASSERT_TRUE(engine->analyze(base).ok());
+  pg::PgDesign eco = base;
+  for (std::size_t i = 0; i < 3; ++i) {
+    eco.netlist.set_resistor_ohms(i, base.netlist.resistors()[i].ohms * 1.5);
+  }
+  AnalysisResult r = engine->analyze(eco);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.warm_start);
+  const EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.warm_hits, 0u);
+  EXPECT_EQ(stats.warm_fallbacks, 1u);
+  // The rejected candidate fell back to the cold path, whose bit-identity
+  // contract holds.
+  EXPECT_EQ(r.ir_drop.data(), pipeline_->analyze(eco).data());
+}
+
+TEST_F(ServeFixture, WarmStartIgnoresTopologyChanges) {
+  auto engine = Engine::from_checkpoint(*checkpoint_path_);
+  const pg::PgDesign& base = *set_->train[0].design;
+  ASSERT_TRUE(engine->analyze(base).ok());
+  pg::PgDesign grown = base;
+  grown.netlist.add_resistor("Rextra", 0, 1, 1.0);
+  AnalysisResult r = engine->analyze(grown);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.warm_start);
+  // A different topology hash is never even a candidate — no fallback counted.
+  const EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.warm_hits, 0u);
+  EXPECT_EQ(stats.warm_fallbacks, 0u);
+  EXPECT_EQ(r.ir_drop.data(), pipeline_->analyze(grown).data());
+}
+
+TEST_F(ServeFixture, WarmStartCanBeDisabled) {
+  EngineOptions opts;
+  opts.enable_warm_start = false;
+  auto engine = Engine::from_checkpoint(*checkpoint_path_, opts);
+  const pg::PgDesign& base = *set_->train[0].design;
+  ASSERT_TRUE(engine->analyze(base).ok());
+  AnalysisResult r = engine->analyze(scaled_current_copy(base, 1.07));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.warm_start);
+  EXPECT_EQ(engine->stats().warm_hits, 0u);
+}
+
+TEST_F(ServeFixture, WarmBuildSurvivesEvictionPressure) {
+  EngineOptions opts;
+  opts.cache_budget_bytes = 1;  // every insertion evicts the older entry
+  auto engine = Engine::from_checkpoint(*checkpoint_path_, opts);
+  const pg::PgDesign& base = *set_->train[0].design;
+  ASSERT_TRUE(engine->analyze(base).ok());
+  const pg::PgDesign eco = scaled_current_copy(base, 1.1);
+  AnalysisResult r = engine->analyze(eco);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.warm_start);  // the base was still cached when the miss hit
+  EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.cache_entries, 1);  // budget keeps only the newest entry
+  EXPECT_GE(stats.cache_evictions, 1u);
+  // The survivor serves content hits; the evicted base comes back through a
+  // warm build seeded by the survivor's solver (the handoff chains).
+  EXPECT_TRUE(engine->analyze(eco).cache_hit);
+  AnalysisResult rebuilt = engine->analyze(base);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(rebuilt.cache_hit);
+  EXPECT_TRUE(rebuilt.warm_start);
+}
+
+TEST_F(ServeFixture, CacheBytesAccountAllRetainedState) {
+  auto engine = Engine::from_checkpoint(*checkpoint_path_);
+  const pg::PgDesign& d = *set_->train[0].design;
+  ASSERT_TRUE(engine->analyze(d).ok());
+  // The cached entry retains the full MNA + AMG solver, the rough solution
+  // and both feature stacks. The byte accounting must therefore be at least
+  // the solver's own footprint — the old grids-only estimate sat far below
+  // this floor and let the LRU budget overshoot.
+  pg::PgSolver reference(d);
+  const EngineStats stats = engine->stats();
+  EXPECT_GE(stats.cache_bytes, reference.memory_bytes());
 }
 
 // --- engine: robustness ----------------------------------------------------

@@ -41,6 +41,11 @@ TEST(Value, MalformedThrows) {
   EXPECT_THROW(parse_value(""), ParseError);
   EXPECT_THROW(parse_value("abc"), ParseError);
   EXPECT_THROW(parse_value("1x"), ParseError);
+  // The checked parser also rejects forms strtod would quietly accept.
+  EXPECT_THROW(parse_value("inf"), ParseError);
+  EXPECT_THROW(parse_value("nan"), ParseError);
+  EXPECT_THROW(parse_value("0x10"), ParseError);
+  EXPECT_THROW(parse_value("1e999"), ParseError);
 }
 
 TEST(Value, FormatRoundTrips) {
