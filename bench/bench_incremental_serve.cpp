@@ -79,11 +79,14 @@ IrFusionPipeline train_pipeline(const Sizes& sz, const pg::PgDesign& base) {
 }
 
 /// Serve the base design (uncounted cache fill), then time each perturbation.
+/// The serve_request timer is reset after the fill so its quantiles cover
+/// exactly the perturbation requests of this engine's pass.
 std::vector<double> timed_rounds(
     Engine& engine, const std::shared_ptr<const pg::PgDesign>& base,
     const std::vector<std::shared_ptr<const pg::PgDesign>>& perturbed,
     std::vector<AnalysisResult>& results) {
   if (!engine.analyze(*base).ok()) std::abort();
+  obs::MetricsRegistry::instance().timer("serve_request").reset();
   std::vector<double> seconds;
   for (const auto& d : perturbed) {
     Stopwatch sw;
@@ -95,8 +98,22 @@ std::vector<double> timed_rounds(
   return seconds;
 }
 
+/// End-to-end latency quantiles of one engine pass, captured from the
+/// serve_request timer before the next pass resets it.
+struct PassQuantiles {
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+PassQuantiles capture_quantiles() {
+  const obs::Timer::Stats s =
+      obs::MetricsRegistry::instance().timer("serve_request").stats();
+  return {s.p50_seconds, s.p99_seconds};
+}
+
 void write_json(const std::vector<Round>& rounds, double speedup,
-                double mae_diff_max, const EngineStats& warm_stats) {
+                double mae_diff_max, const EngineStats& warm_stats,
+                const PassQuantiles& cold_q, const PassQuantiles& warm_q) {
   std::ofstream f("BENCH_incremental_serve.json");
   f << "{\n  \"bench\": \"incremental_serve\",\n  \"entries\": [\n";
   for (std::size_t i = 0; i < rounds.size(); ++i) {
@@ -111,7 +128,11 @@ void write_json(const std::vector<Round>& rounds, double speedup,
   f << "  ],\n  \"summary\": {\"speedup\": " << obs::json_number(speedup)
     << ", \"mae_diff_max\": " << obs::json_number(mae_diff_max)
     << ", \"warm_hits\": " << warm_stats.warm_hits
-    << ", \"warm_fallbacks\": " << warm_stats.warm_fallbacks << "},\n"
+    << ", \"warm_fallbacks\": " << warm_stats.warm_fallbacks
+    << ", \"cold_e2e_p50_seconds\": " << obs::json_number(cold_q.p50_seconds)
+    << ", \"cold_e2e_p99_seconds\": " << obs::json_number(cold_q.p99_seconds)
+    << ", \"warm_e2e_p50_seconds\": " << obs::json_number(warm_q.p50_seconds)
+    << ", \"warm_e2e_p99_seconds\": " << obs::json_number(warm_q.p99_seconds) << "},\n"
     << "  \"metrics\": " << obs::metrics_json() << "\n}\n";
 }
 
@@ -152,16 +173,19 @@ int main(int argc, char** argv) {
 
   std::vector<AnalysisResult> cold_results, warm_results;
   std::vector<double> cold_seconds, warm_seconds;
+  PassQuantiles cold_q, warm_q;
   {
     EngineOptions opts;
     opts.enable_warm_start = false;
     auto engine = Engine::from_checkpoint(checkpoint, opts);
     cold_seconds = timed_rounds(*engine, base, perturbed, cold_results);
+    cold_q = capture_quantiles();
   }
   EngineStats warm_stats;
   {
     auto engine = Engine::from_checkpoint(checkpoint);  // warm start on
     warm_seconds = timed_rounds(*engine, base, perturbed, warm_results);
+    warm_q = capture_quantiles();
     warm_stats = engine->stats();
   }
 
@@ -187,7 +211,7 @@ int main(int argc, char** argv) {
   }
   const double speedup = warm_total > 0.0 ? cold_total / warm_total : 0.0;
 
-  write_json(rounds, speedup, mae_diff_max, warm_stats);
+  write_json(rounds, speedup, mae_diff_max, warm_stats, cold_q, warm_q);
 
   std::cout << "round   cold_s     warm_s     mae_cold      mae_warm\n";
   for (const Round& r : rounds) {

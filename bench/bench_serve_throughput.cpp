@@ -37,7 +37,32 @@ struct Entry {
   bool cache_warm = false;
   double seconds = 0.0;
   double rps = 0.0;
+  // Per-mode latency quantiles from the serve_queue_wait / serve_request
+  // timers (reset before each measured pass). Zero for cold_direct, which
+  // never goes through the engine.
+  double queue_p50_seconds = 0.0;
+  double queue_p99_seconds = 0.0;
+  double e2e_p50_seconds = 0.0;
+  double e2e_p99_seconds = 0.0;
 };
+
+/// Reset the per-request latency timers so the next pass's quantiles are
+/// mode-pure (counters and gauges keep accumulating across modes).
+void reset_latency_timers() {
+  obs::MetricsRegistry::instance().timer("serve_queue_wait").reset();
+  obs::MetricsRegistry::instance().timer("serve_request").reset();
+}
+
+void fill_quantiles(Entry& e) {
+  const obs::Timer::Stats queue =
+      obs::MetricsRegistry::instance().timer("serve_queue_wait").stats();
+  const obs::Timer::Stats e2e =
+      obs::MetricsRegistry::instance().timer("serve_request").stats();
+  e.queue_p50_seconds = queue.p50_seconds;
+  e.queue_p99_seconds = queue.p99_seconds;
+  e.e2e_p50_seconds = e2e.p50_seconds;
+  e.e2e_p99_seconds = e2e.p99_seconds;
+}
 
 struct Sizes {
   int image_px = 32;
@@ -107,7 +132,11 @@ void write_json(const std::vector<Entry>& entries) {
       << ", \"batch\": " << e.batch << ", \"requests\": " << e.requests
       << ", \"cache_warm\": " << (e.cache_warm ? "true" : "false")
       << ", \"seconds\": " << obs::json_number(e.seconds)
-      << ", \"rps\": " << obs::json_number(e.rps) << "}"
+      << ", \"rps\": " << obs::json_number(e.rps)
+      << ", \"queue_p50_seconds\": " << obs::json_number(e.queue_p50_seconds)
+      << ", \"queue_p99_seconds\": " << obs::json_number(e.queue_p99_seconds)
+      << ", \"e2e_p50_seconds\": " << obs::json_number(e.e2e_p50_seconds)
+      << ", \"e2e_p99_seconds\": " << obs::json_number(e.e2e_p99_seconds) << "}"
       << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   f << "  ],\n  \"metrics\": " << obs::metrics_json() << "\n}\n";
@@ -156,29 +185,45 @@ int main(int argc, char** argv) {
 
     // Cold pass at batch 1 doubles as the engine-overhead datapoint.
     if (batch == 1) {
+      reset_latency_timers();
       const double s = serve_rounds(*engine, designs, sz.rounds);
-      entries.push_back({"cold_engine", batch, requests, false, s, requests / s});
+      Entry e{"cold_engine", batch, requests, false, s, requests / s};
+      fill_quantiles(e);
+      entries.push_back(e);
       engine->clear_cache();
     }
     // Warm the per-design cache, then measure steady state.
     serve_rounds(*engine, designs, 1);
+    reset_latency_timers();
     const double s = serve_rounds(*engine, designs, sz.rounds);
-    entries.push_back({"warm_engine", batch, requests, true, s, requests / s});
+    Entry e{"warm_engine", batch, requests, true, s, requests / s};
+    fill_quantiles(e);
+    entries.push_back(e);
   }
 
   write_json(entries);
 
-  std::cout << "mode          batch   requests   seconds      req/s\n";
+  std::cout << "mode          batch   requests   seconds      req/s   queue_p99   e2e_p99\n";
   double cold_rps = 0.0, best_warm_rps = 0.0;
+  bool quantiles_ok = true;
   for (const Entry& e : entries) {
-    std::printf("%-13s %5d %10d %9.4f %10.1f\n", e.mode.c_str(), e.batch,
-                e.requests, e.seconds, e.rps);
+    std::printf("%-13s %5d %10d %9.4f %10.1f %11.6f %9.6f\n", e.mode.c_str(),
+                e.batch, e.requests, e.seconds, e.rps, e.queue_p99_seconds,
+                e.e2e_p99_seconds);
     if (e.mode == "cold_direct") cold_rps = e.rps;
     if (e.mode == "warm_engine") best_warm_rps = std::max(best_warm_rps, e.rps);
+    // Every engine-served mode must report real latency quantiles.
+    if (e.mode != "cold_direct") {
+      quantiles_ok = quantiles_ok && e.queue_p99_seconds > 0.0 && e.e2e_p99_seconds > 0.0;
+    }
   }
   std::cout << "warm/cold speedup: " << best_warm_rps / cold_rps << "x\n"
             << "wrote BENCH_serve_throughput.json\n";
   // The acceptance bar: warm-cache batched serving must beat the cold
-  // per-request loop outright.
+  // per-request loop outright, and the latency quantiles must be live.
+  if (!quantiles_ok) {
+    std::cerr << "FAIL: an engine mode reported zero queue/e2e p99\n";
+    return 1;
+  }
   return best_warm_rps > cold_rps ? 0 : 1;
 }

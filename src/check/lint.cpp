@@ -144,7 +144,11 @@ const NamePattern kNamePatterns[] = {
     {"obs::count", "counter", false},
     {"obs::set_gauge", "gauge", false},
     {"obs::record_timer", "timer", false},
+    {"obs::record_histogram", "histogram", false},
     {"ScopedSpan", "timer", true},
+    // A retroactive span has the same dual identity as a ScopedSpan: it both
+    // captures a trace event and records the same-named timer.
+    {"obs::emit_span", "timer", false},
 };
 
 const std::regex& name_grammar() {

@@ -1,0 +1,96 @@
+#include "obs/flight.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace irf::obs {
+
+namespace {
+
+double unix_seconds_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()),
+      wall_anchor_unix_seconds_(unix_seconds_now()) {
+  ring_.resize(capacity_);
+}
+
+void FlightRecorder::record(std::string event, std::uint64_t req_id, double value,
+                            std::string detail) {
+  const double t = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - epoch_)
+                       .count();
+  if (detail.size() > kMaxDetail) detail.resize(kMaxDetail);
+  std::lock_guard<std::mutex> lock(mutex_);
+  FlightRecord& slot = ring_[next_];
+  slot.t_seconds = t;
+  slot.event = std::move(event);
+  slot.req_id = req_id;
+  slot.value = value;
+  slot.detail = std::move(detail);
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<FlightRecord> FlightRecorder::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FlightRecord> out;
+  const std::size_t used = total_ < capacity_ ? static_cast<std::size_t>(total_) : capacity_;
+  out.reserve(used);
+  // Oldest retained record sits at the write cursor once the ring has wrapped.
+  const std::size_t start = total_ < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < used; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ < capacity_ ? 0 : total_ - capacity_;
+}
+
+std::string FlightRecorder::dump_json() const {
+  const std::vector<FlightRecord> recs = records();
+  std::ostringstream out;
+  out << "{\"flight_recorder\":{\"wall_anchor_unix_seconds\":"
+      << json_number(wall_anchor_unix_seconds_) << ",\"capacity\":" << capacity_
+      << ",\"dropped\":" << dropped() << ",\"records\":[";
+  bool first = true;
+  for (const FlightRecord& r : recs) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"t_seconds\":" << json_number(r.t_seconds) << ",\"event\":\""
+        << json_escape(r.event) << "\",\"req_id\":" << r.req_id
+        << ",\"value\":" << json_number(r.value) << ",\"detail\":\""
+        << json_escape(r.detail) << "\"}";
+  }
+  out << "]}}";
+  return out.str();
+}
+
+void FlightRecorder::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open flight-recorder output for write: " + path);
+  out << dump_json() << "\n";
+  if (!out) throw Error("flight-recorder output write failed: " + path);
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (FlightRecord& r : ring_) r = FlightRecord{};
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace irf::obs

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file flight.hpp
+/// Flight recorder: a fixed-size ring buffer of recent engine events, kept
+/// cheap enough to stay always-on in the serve path. When something goes
+/// wrong (degradation, deadline miss, warm-start fallback, CheckError) the
+/// owner dumps the ring as JSON, giving a post-mortem of the requests that
+/// led up to the incident — the black-box analogue of an aircraft flight
+/// recorder, hence the name.
+///
+/// Recording takes one short mutex hold and, after warm-up, no allocation
+/// beyond small-string assignment; the ring never grows. The recorder is
+/// self-contained (its own clock anchor) so it works even when tracing and
+/// metrics are switched off — and, per the telemetry contract, it never
+/// influences numerical results.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace irf::obs {
+
+/// One recorded event. `t_seconds` is relative to the recorder's creation;
+/// the dump header carries the matching wall-clock anchor.
+struct FlightRecord {
+  double t_seconds = 0.0;
+  std::string event;    ///< short machine tag: submit, dequeue, degraded, ...
+  std::uint64_t req_id = 0;  ///< owning request, 0 when not request-scoped
+  double value = 0.0;   ///< event-specific scalar (queue depth, seconds, ...)
+  std::string detail;   ///< free text, truncated to kMaxDetail
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+  static constexpr std::size_t kMaxDetail = 160;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  void record(std::string event, std::uint64_t req_id = 0, double value = 0.0,
+              std::string detail = std::string());
+
+  /// Oldest-first copy of the retained records.
+  std::vector<FlightRecord> records() const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Records pushed out of the ring since construction/clear.
+  std::uint64_t dropped() const;
+
+  /// The ring as a self-describing JSON document (parseable by parse_json):
+  /// {"flight_recorder": {"wall_anchor_unix_seconds": ..., "capacity": ...,
+  ///  "dropped": ..., "records": [{"t_seconds", "event", "req_id", "value",
+  ///  "detail"}, ...]}}
+  std::string dump_json() const;
+
+  /// dump_json() to a file (overwrite); throws IoError on failure.
+  void write_json(const std::string& path) const;
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  const double wall_anchor_unix_seconds_;
+
+  mutable std::mutex mutex_;
+  std::vector<FlightRecord> ring_;  ///< preallocated to capacity_
+  std::size_t next_ = 0;            ///< ring write cursor
+  std::uint64_t total_ = 0;         ///< records ever pushed
+};
+
+}  // namespace irf::obs

@@ -247,7 +247,7 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string json_number(double v) {
-  if (!std::isfinite(v)) return "0";
+  if (!std::isfinite(v)) return "null";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;

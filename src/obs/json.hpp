@@ -41,7 +41,9 @@ JsonValue parse_json(const std::string& text);
 /// `s` with JSON string escaping applied, without surrounding quotes.
 std::string json_escape(const std::string& s);
 
-/// Format a double as a JSON number (finite; non-finite values become 0).
+/// Format a double as a JSON number. Non-finite values (NaN, +/-inf) have no
+/// JSON number representation and are emitted as `null` — never as a fake 0
+/// that downstream tooling would read as a real measurement.
 std::string json_number(double v);
 
 }  // namespace irf::obs

@@ -1,19 +1,22 @@
 #pragma once
 
 /// \file metrics.hpp
-/// Process-wide registry of named counters, gauges and histogram-style
+/// Process-wide registry of named counters, gauges, quantile histograms and
 /// timers. Instruments are created lazily on first use and are safe to
 /// update from any thread; the registry survives for the whole process so
-/// exporters (JSON snapshot, summary table — see obs.hpp) can read a
-/// consistent view at exit or on demand.
+/// exporters (JSON snapshot, summary table, Prometheus text — see obs.hpp)
+/// can read a consistent view at exit or on demand.
 ///
 /// Instrument updates are cheap (an atomic op, or a short mutex hold for
 /// timers) but still avoidable: the free helpers `count()` / `set_gauge()` /
-/// `record_timer()` check `metrics_enabled()` first so that a process with
-/// metrics switched off (IRF_METRICS=0) pays only a relaxed atomic load.
+/// `record_timer()` / `record_histogram()` check `metrics_enabled()` first
+/// so that a process with metrics switched off (IRF_METRICS=0) pays only a
+/// relaxed atomic load.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,9 +47,64 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Histogram-style duration accumulator: count / total / min / max / mean.
-/// ScopedSpan records into the timer named after the span, so phase timings
-/// (amg_setup vs. pcg_iterate vs. feature_extract ...) aggregate here.
+/// Fixed-memory log-bucketed quantile histogram (HDR-style). Values land in
+/// geometric buckets spanning [1e-9, 1e4) with kBucketsPerDecade buckets per
+/// decade, so any quantile estimate is exact to within one bucket's relative
+/// width (10^(1/kBucketsPerDecade) ≈ 26%) regardless of how many samples were
+/// recorded. Recording is lock-free (relaxed atomics) and allocation-free —
+/// cheap enough for per-request latencies on the serve hot path. Values are
+/// unitless; the serving layer records seconds, batch sizes and iteration
+/// counts alike. Non-positive values count into the underflow bucket.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerDecade = 10;
+  static constexpr int kDecades = 13;  ///< [1e-9, 1e4)
+  static constexpr double kMinTracked = 1e-9;
+  /// inner buckets + underflow (index 0) + overflow (last index)
+  static constexpr int kNumBuckets = kDecades * kBucketsPerDecade + 2;
+
+  /// Point-in-time copy with quantile estimation. min/max/sum are exact;
+  /// quantiles are bucket-resolution estimates clamped to [min, max].
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, kNumBuckets> buckets{};
+
+    double mean() const { return count == 0 ? 0.0 : sum / count; }
+    /// Value estimate at quantile q in [0, 1] (0 when empty).
+    double quantile(double q) const;
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
+    double p999() const { return quantile(0.999); }
+  };
+
+  void record(double value);
+  Snapshot snapshot() const;
+  void reset();
+
+  /// Inclusive upper bound of bucket `index` (+inf for the overflow bucket,
+  /// kMinTracked for the underflow bucket). Exposed for exporters.
+  static double bucket_upper_bound(int index);
+
+ private:
+  static int bucket_index(double value);
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // +/-inf sentinels until the first record; snapshot() maps empty to 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Duration accumulator: count / total / min / max / mean plus latency
+/// quantiles from an embedded log-bucketed Histogram. ScopedSpan (and
+/// emit_span) record into the timer named after the span, so phase timings
+/// (amg_setup vs. pcg_iterate vs. serve_queue_wait ...) aggregate here and
+/// their p50/p90/p99/p999 land in every snapshot.
 class Timer {
  public:
   struct Stats {
@@ -54,6 +112,10 @@ class Timer {
     double total_seconds = 0.0;
     double min_seconds = 0.0;
     double max_seconds = 0.0;
+    double p50_seconds = 0.0;
+    double p90_seconds = 0.0;
+    double p99_seconds = 0.0;
+    double p999_seconds = 0.0;
     double mean_seconds() const { return count == 0 ? 0.0 : total_seconds / count; }
   };
 
@@ -64,6 +126,7 @@ class Timer {
  private:
   mutable std::mutex mutex_;
   Stats stats_;
+  Histogram histogram_;
 };
 
 /// Point-in-time copy of every instrument, for exporters and tests.
@@ -71,7 +134,10 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, Timer::Stats>> timers;
-  bool empty() const { return counters.empty() && gauges.empty() && timers.empty(); }
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  bool empty() const {
+    return counters.empty() && gauges.empty() && timers.empty() && histograms.empty();
+  }
 };
 
 /// Process-wide instrument registry. Lookup takes the registry mutex; the
@@ -84,6 +150,7 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Timer& timer(const std::string& name);
+  Histogram& histogram(const std::string& name);
 
   MetricsSnapshot snapshot() const;
 
@@ -97,6 +164,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Timer>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 /// True when metric collection is on (default; IRF_METRICS=0 switches off).
@@ -108,5 +176,6 @@ void set_metrics_enabled(bool enabled);
 void count(const std::string& name, std::uint64_t n = 1);
 void set_gauge(const std::string& name, double value);
 void record_timer(const std::string& name, double seconds);
+void record_histogram(const std::string& name, double value);
 
 }  // namespace irf::obs

@@ -15,6 +15,9 @@
 ///                <path>   collection on; write the JSON snapshot to <path>
 ///                         at process exit
 ///   IRF_LOG_LEVEL  quiet|normal|verbose (or 0|1|2); default normal
+///   IRF_RESIDUAL_CURVES  unset/0  off (default); 1 | on  attach a bounded
+///                        per-iteration residual curve to solve spans when
+///                        tracing is enabled (see trace.hpp)
 ///
 /// `init_from_env()` is idempotent and cheap after the first call; it is
 /// invoked from `irf::resolve_scale_from_env()` so benches and tools pick
@@ -45,15 +48,33 @@ void write_chrome_trace(const std::string& path);
 std::string chrome_trace_json();
 
 /// Write the metrics snapshot as JSON ({"counters":{},"gauges":{},
-/// "timers":{}}). Valid (empty-object) JSON even when nothing was recorded.
+/// "timers":{},"histograms":{}}). Timer entries carry latency quantiles
+/// (p50/p90/p99/p999 seconds) alongside count/total/mean/min/max. Valid
+/// (empty-object) JSON even when nothing was recorded.
 void write_metrics_json(const std::string& path);
 
 /// Serialize the metrics snapshot without touching the filesystem.
 std::string metrics_json();
 
-/// Human-readable metrics table: counters, gauges, then per-timer
-/// count/total/mean/min/max sorted by total time descending.
+/// Human-readable metrics table: counters, gauges, histograms, then
+/// per-timer count/total/mean/p50/p99/max sorted by total time descending.
 void print_metrics_summary(std::ostream& out);
+
+/// Serialize the metrics snapshot in Prometheus exposition text format
+/// (https://prometheus.io/docs/instrumenting/exposition_formats/). Names
+/// are prefixed `irf_` with dots mapped to underscores; counters and gauges
+/// export directly, timers as summaries (quantile labels + _sum/_count,
+/// seconds), histograms as cumulative `le` buckets + _sum/_count.
+std::string prometheus_text();
+
+/// prometheus_text() to a file (overwrite). Throws irf::Error when the file
+/// cannot be written.
+void export_prometheus(const std::string& path);
+
+/// Validate `text` against the exposition format line grammar (comments,
+/// `name{labels} value` samples). Returns the number of sample lines;
+/// throws irf::ParseError with a line number on the first malformed line.
+std::size_t check_prometheus_text(const std::string& text);
 
 /// Bench-harness hook: enable metric collection (unless IRF_METRICS=0
 /// explicitly disabled it) and arrange for BENCH_<name>.json to be written

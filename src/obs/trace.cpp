@@ -10,6 +10,7 @@ namespace irf::obs {
 namespace {
 
 std::atomic<bool> g_trace_enabled{false};
+std::atomic<bool> g_residual_curves{false};
 
 std::chrono::steady_clock::time_point trace_epoch() {
   static const std::chrono::steady_clock::time_point epoch =
@@ -67,6 +68,33 @@ void clear_trace_events() {
   buffer().clear();
 }
 
+bool residual_curve_capture() {
+  return g_residual_curves.load(std::memory_order_relaxed);
+}
+
+void set_residual_curve_capture(bool enabled) {
+  g_residual_curves.store(enabled, std::memory_order_relaxed);
+}
+
+void emit_span(const char* name, const char* category,
+               std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end,
+               std::vector<std::pair<std::string, double>> args) {
+  if (end < start) end = start;
+  record_timer(name, std::chrono::duration<double>(end - start).count());
+  if (!trace_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.thread_id = this_thread_id();
+  event.depth = current_span_depth();
+  event.start_us = us_since_epoch(start);
+  event.duration_us = std::chrono::duration<double, std::micro>(end - start).count();
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(buffer_mutex());
+  buffer().push_back(std::move(event));
+}
+
 int current_span_depth() { return static_cast<int>(span_stack().size()); }
 
 std::vector<std::string> current_span_path() {
@@ -106,6 +134,10 @@ double ScopedSpan::seconds() const {
 }
 
 void ScopedSpan::add_arg(const char* key, double value) {
+  if (capture_) args_.emplace_back(key, value);
+}
+
+void ScopedSpan::add_arg(const std::string& key, double value) {
   if (capture_) args_.emplace_back(key, value);
 }
 

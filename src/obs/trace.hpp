@@ -52,6 +52,24 @@ int current_span_depth();
 /// Names of the calling thread's active spans, outermost first.
 std::vector<std::string> current_span_path();
 
+/// Residual-curve capture gate: when on (and tracing is on), iterative
+/// solvers attach a bounded, downsampled per-iteration residual curve to
+/// their solve span. Off by default — the curve costs trace-buffer space per
+/// solve — and switchable via IRF_RESIDUAL_CURVES=1 (see obs::init_from_env).
+bool residual_curve_capture();
+void set_residual_curve_capture(bool enabled);
+
+/// Emit a completed span retroactively from explicit start/end times, for
+/// intervals that do not wrap code on the calling thread (e.g. a request's
+/// queue wait, measured by the dispatcher after dequeue). Behaves like a
+/// ScopedSpan that ran over [start, end]: records the same-named metrics
+/// Timer (when metrics are on) and captures a trace event with the given
+/// args (when tracing is on).
+void emit_span(const char* name, const char* category,
+               std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end,
+               std::vector<std::pair<std::string, double>> args = {});
+
 /// RAII phase marker. Construct at the top of a phase; destruction emits
 /// the event. Spans must be stack-allocated and destroyed in LIFO order
 /// (guaranteed by scoping); they are neither copyable nor movable.
@@ -70,6 +88,7 @@ class ScopedSpan {
   /// Attach a numeric annotation exported in the trace event's "args".
   /// No-op unless tracing is enabled.
   void add_arg(const char* key, double value);
+  void add_arg(const std::string& key, double value);
 
  private:
   const char* name_;

@@ -33,8 +33,11 @@ PgSolution PgSolver::solve_golden(double rel_tolerance) const {
   span.add_arg("warm_start", 0);  // flat supply guess
   obs::count("pg.solves.golden");
   const linalg::Vec x0 = flat_supply_guess();
-  return finalize(solver_->solve_golden(mna_.rhs, rel_tolerance, /*max_iterations=*/2000,
-                                        &x0));
+  PgSolution sol = finalize(solver_->solve_golden(mna_.rhs, rel_tolerance,
+                                                  /*max_iterations=*/2000, &x0));
+  span.add_arg("iterations", sol.iterations);
+  span.add_arg("final_relative_residual", sol.final_relative_residual);
+  return sol;
 }
 
 PgSolution PgSolver::solve_rough(int iterations) const {
@@ -43,7 +46,9 @@ PgSolution PgSolver::solve_rough(int iterations) const {
   span.add_arg("warm_start", 0);  // flat supply guess
   obs::count("pg.solves.rough");
   const linalg::Vec x0 = flat_supply_guess();
-  return finalize(solver_->solve_rough(mna_.rhs, iterations, &x0));
+  PgSolution sol = finalize(solver_->solve_rough(mna_.rhs, iterations, &x0));
+  span.add_arg("final_relative_residual", sol.final_relative_residual);
+  return sol;
 }
 
 PgSolution PgSolver::solve_warm(const linalg::Vec& prev_node_voltage,
@@ -68,6 +73,7 @@ PgSolution PgSolver::solve_warm(const linalg::Vec& prev_node_voltage,
   options.max_iterations = max_iterations;
   PgSolution sol = finalize(solver_->solve_warm(mna_.rhs, x0, options));
   span.add_arg("iterations", sol.iterations);
+  span.add_arg("final_relative_residual", sol.final_relative_residual);
   return sol;
 }
 

@@ -47,6 +47,22 @@ struct AnalysisRequest {
   bool allow_degraded = true;
 };
 
+/// Per-stage wall-clock breakdown of one served request, measured by the
+/// engine at stage boundaries. Stages a request never entered stay 0 (a
+/// cache hit has no setup/solve/features time; a timed-out request may only
+/// have queue_wait). respond_seconds is the residual of total_seconds not
+/// attributed to a named stage (dispatcher bookkeeping, result copies).
+struct StageTimings {
+  double queue_wait_seconds = 0.0;  ///< submit -> dequeued by the dispatcher
+  double batch_form_seconds = 0.0;  ///< dequeue -> admission checks done
+  double setup_seconds = 0.0;       ///< MNA assembly + AMG setup (cold) or rebind (warm)
+  double solve_seconds = 0.0;       ///< rough / warm-started PCG iterations
+  double feature_seconds = 0.0;     ///< feature extraction or delta refresh
+  double inference_seconds = 0.0;   ///< share of the batched model forward
+  double respond_seconds = 0.0;     ///< unattributed remainder before fulfilment
+  double total_seconds = 0.0;       ///< submit -> promise fulfilled
+};
+
 /// The engine's answer. `ir_drop` is only populated for kOk/kDegraded.
 struct AnalysisResult {
   ResultStatus status = ResultStatus::kFailed;
@@ -61,9 +77,22 @@ struct AnalysisResult {
   std::uint64_t design_hash = 0;  ///< content hash used as the cache key
   std::string design_name;
 
+  /// Request-scoped trace context: the engine-monotonic request id every
+  /// span of this request carries as a `req_id` arg, the wall-clock anchor
+  /// taken at submission, and the queue depth right after admission.
+  std::uint64_t req_id = 0;
+  double submit_unix_seconds = 0.0;
+  int queue_depth_at_admission = 0;
+
   double queue_seconds = 0.0;      ///< time between submit and dequeue
   double numerical_seconds = 0.0;  ///< MNA + AMG + rough solve + features
   double inference_seconds = 0.0;  ///< share of the batched model forward
+  StageTimings stages;             ///< full per-stage latency breakdown
+
+  /// Convergence telemetry of the numerical stage that produced `rough`
+  /// (cold rough solve or warm-started PCG; cached values on a cache hit).
+  int solver_iterations = 0;
+  double solver_final_residual = 0.0;
 
   std::string error;  ///< populated for kFailed (and degraded-by-exception)
 
@@ -100,6 +129,18 @@ struct EngineOptions {
   /// How many resistor value edits still count as an incremental delta;
   /// larger edit sets force the cold path.
   int max_stamp_edits = 8;
+
+  /// Flight recorder: ring capacity of recent engine events (submit /
+  /// dequeue / respond / degraded / deadline_missed / warm_fallback /
+  /// check_error). Always on — recording is one short mutex hold and never
+  /// influences results.
+  int flight_recorder_capacity = 256;
+
+  /// When non-empty, the engine (over)writes the flight-recorder JSON dump
+  /// here every time a request degrades, misses its deadline, falls back
+  /// from warm-start, or trips a CheckError — a post-mortem of the lead-up.
+  /// Engine::dump_flight_recorder() dumps on demand regardless.
+  std::string flight_dump_path;
 };
 
 /// Content hash of a design: geometry, supply, and every netlist element —

@@ -34,6 +34,15 @@ void validate_options(const EngineOptions& options) {
   if (options.fallback_image_size < 8 || options.fallback_rough_iterations < 1) {
     throw ConfigError("serve: fallback image size/iterations out of range");
   }
+  if (options.flight_recorder_capacity < 1) {
+    throw ConfigError("serve: flight_recorder_capacity must be >= 1");
+  }
+}
+
+double unix_seconds_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -44,6 +53,8 @@ struct Engine::Pending {
   std::promise<AnalysisResult> promise;
   Clock::time_point enqueued;
   Clock::time_point deadline = Clock::time_point::max();
+  double submit_unix_seconds = 0.0;    ///< wall-clock anchor for the trace context
+  int queue_depth_at_admission = 0;    ///< queue size right after this push
   bool cancelled = false;  ///< guarded by Engine::mutex_
 };
 
@@ -70,14 +81,19 @@ struct Engine::CacheEntry {
 };
 
 Engine::Engine(core::IrFusionPipeline pipeline, EngineOptions options)
-    : options_(options), pipeline_(std::move(pipeline)) {
+    : options_(options), pipeline_(std::move(pipeline)),
+      flight_(static_cast<std::size_t>(std::max(1, options.flight_recorder_capacity))) {
   if (!pipeline_->is_fitted()) {
     throw ConfigError("serve: engine needs a fitted pipeline (fit() or checkpoint)");
   }
   start();
 }
 
-Engine::Engine(EngineOptions options) : options_(options) { start(); }
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      flight_(static_cast<std::size_t>(std::max(1, options.flight_recorder_capacity))) {
+  start();
+}
 
 std::unique_ptr<Engine> Engine::from_checkpoint(const std::string& path,
                                                 EngineOptions options) {
@@ -111,6 +127,7 @@ void Engine::start() {
   obs::count("serve.timeouts", 0);
   obs::count("serve.cancelled", 0);
   obs::count("serve.failures", 0);
+  obs::count("serve.flight_dumps", 0);
   dispatcher_ = std::thread([this] { run_dispatcher(); });
 }
 
@@ -141,6 +158,7 @@ Engine::Ticket Engine::submit(AnalysisRequest request) {
   auto pending = std::make_shared<Pending>();
   pending->request = std::move(request);
   pending->enqueued = Clock::now();
+  pending->submit_unix_seconds = unix_seconds_now();
   const double timeout = pending->request.timeout_seconds > 0.0
                              ? pending->request.timeout_seconds
                              : options_.default_timeout_seconds;
@@ -167,6 +185,7 @@ Engine::Ticket Engine::submit(AnalysisRequest request) {
       return ticket;
     }
     queue_.push_back(pending);
+    pending->queue_depth_at_admission = static_cast<int>(queue_.size());
     obs::set_gauge("serve.queue.depth", static_cast<double>(queue_.size()));
   }
   {
@@ -174,6 +193,11 @@ Engine::Ticket Engine::submit(AnalysisRequest request) {
     ++stats_.submitted;
   }
   obs::count("serve.requests");
+  obs::record_histogram("serve.queue.depth_at_admission",
+                        static_cast<double>(pending->queue_depth_at_admission));
+  flight_.record("submit", pending->id,
+                 static_cast<double>(pending->queue_depth_at_admission),
+                 pending->request.design->name);
   work_cv_.notify_one();
   return ticket;
 }
@@ -230,6 +254,24 @@ int Engine::queue_depth() const {
   return static_cast<int>(queue_.size());
 }
 
+std::string Engine::dump_flight_recorder(const std::string& path) const {
+  std::string json = flight_.dump_json();
+  if (!path.empty()) flight_.write_json(path);
+  return json;
+}
+
+void Engine::maybe_dump_flight(const char* reason) {
+  if (options_.flight_dump_path.empty()) return;
+  try {
+    flight_.write_json(options_.flight_dump_path);
+    obs::count("serve.flight_dumps");
+    obs::verbose() << "serve: flight recorder dumped to "
+                   << options_.flight_dump_path << " (" << reason << ")";
+  } catch (const std::exception& e) {
+    obs::info() << "serve: flight-recorder dump failed: " << e.what();
+  }
+}
+
 void Engine::clear_cache() {
   std::lock_guard<std::mutex> lk(cache_mutex_);
   cache_.clear();
@@ -259,6 +301,27 @@ void Engine::run_dispatcher() {
 
 void Engine::fulfil(Pending& pending, AnalysisResult result) {
   result.degraded = result.status == ResultStatus::kDegraded;
+  // Close the request's trace context: id + anchors, end-to-end timing, the
+  // unattributed respond remainder, and the request-level span that feeds
+  // the serve_request latency histogram.
+  result.req_id = pending.id;
+  result.submit_unix_seconds = pending.submit_unix_seconds;
+  result.queue_depth_at_admission = pending.queue_depth_at_admission;
+  const Clock::time_point now = Clock::now();
+  result.stages.total_seconds = seconds_between(pending.enqueued, now);
+  const double attributed =
+      result.stages.queue_wait_seconds + result.stages.batch_form_seconds +
+      result.stages.setup_seconds + result.stages.solve_seconds +
+      result.stages.feature_seconds + result.stages.inference_seconds;
+  result.stages.respond_seconds =
+      std::max(0.0, result.stages.total_seconds - attributed);
+  obs::emit_span("serve_request", "serve", pending.enqueued, now,
+                 {{"req_id", static_cast<double>(pending.id)},
+                  {"status", static_cast<double>(static_cast<int>(result.status))},
+                  {"batch", static_cast<double>(result.batch_size)},
+                  {"queue_depth", static_cast<double>(pending.queue_depth_at_admission)}});
+  flight_.record("respond", pending.id, result.stages.total_seconds,
+                 status_name(result.status));
   {
     std::lock_guard<std::mutex> lk(cache_mutex_);
     ++stats_.completed;
@@ -316,17 +379,23 @@ std::shared_ptr<Engine::CacheEntry> Engine::lookup_or_build(
   }
   obs::ScopedSpan span("serve_numerical", "serve");
   span.add_arg("warm", 0);
+  span.add_arg("req_id", static_cast<double>(result.req_id));
   auto entry = std::make_shared<CacheEntry>();
   entry->design = request.design;
   entry->topology_hash = topo_hash;
+  const Clock::time_point setup_start = Clock::now();
   entry->solver = std::make_unique<pg::PgSolver>(*entry->design);
+  result.stages.setup_seconds = seconds_between(setup_start, Clock::now());
   const int iterations = pipeline_ ? pipeline_->config().rough_iterations
                                    : options_.fallback_rough_iterations;
   const int image_size =
       pipeline_ ? pipeline_->config().image_size : options_.fallback_image_size;
+  const Clock::time_point solve_start = Clock::now();
   entry->rough = entry->solver->solve_rough(iterations);
+  result.stages.solve_seconds = seconds_between(solve_start, Clock::now());
   const pg::PgSolution& rough = entry->rough;
 
+  const Clock::time_point feature_start = Clock::now();
   train::Sample& sample = entry->sample;
   sample.design_name = entry->design->name;
   sample.kind = entry->design->kind;
@@ -343,6 +412,7 @@ std::shared_ptr<Engine::CacheEntry> Engine::lookup_or_build(
   }
   sample.label = GridF(image_size, image_size, 0.0f);  // unused by inference
   sample.rough_bottom = features::label_map(*entry->design, rough, image_size);
+  result.stages.feature_seconds = seconds_between(feature_start, Clock::now());
   result.numerical_seconds = span.seconds();
 
   // Account every retained byte — feature stacks, rough solution, and the
@@ -373,8 +443,10 @@ std::shared_ptr<Engine::CacheEntry> Engine::build_warm(
       ++stats_.warm_fallbacks;
     }
     obs::count("serve.warm_fallbacks");
+    flight_.record("warm_fallback", result.req_id, 0.0, delta.describe());
     obs::verbose() << "serve: warm candidate for " << request.design->name
                    << " rejected (" << delta.describe() << "); cold build";
+    maybe_dump_flight("warm fallback");
     return nullptr;
   }
   // Steal the base entry's solver (MNA + AMG hierarchy). The base entry may
@@ -394,14 +466,19 @@ std::shared_ptr<Engine::CacheEntry> Engine::build_warm(
     }
   }
   if (!solver) {
-    std::lock_guard<std::mutex> lk(cache_mutex_);
-    ++stats_.warm_fallbacks;
+    {
+      std::lock_guard<std::mutex> lk(cache_mutex_);
+      ++stats_.warm_fallbacks;
+    }
     obs::count("serve.warm_fallbacks");
+    flight_.record("warm_fallback", result.req_id, 0.0, "base solver already stolen");
+    maybe_dump_flight("warm fallback");
     return nullptr;
   }
   try {
     obs::ScopedSpan span("serve_numerical", "serve");
     span.add_arg("warm", 1);
+    span.add_arg("req_id", static_cast<double>(result.req_id));
     auto entry = std::make_shared<CacheEntry>();
     entry->design = request.design;
     entry->topology_hash = topology_hash;
@@ -413,7 +490,9 @@ std::shared_ptr<Engine::CacheEntry> Engine::build_warm(
     // hierarchy (rebind throws if the topology check above was fooled), then
     // warm-start PCG from the cached rough solution toward the same residual
     // quality the cold rough solve achieved.
+    const Clock::time_point setup_start = Clock::now();
     solver->rebind(*entry->design);
+    result.stages.setup_seconds = seconds_between(setup_start, Clock::now());
     const int iterations = pipeline_ ? pipeline_->config().rough_iterations
                                      : options_.fallback_rough_iterations;
     const int image_size =
@@ -421,10 +500,13 @@ std::shared_ptr<Engine::CacheEntry> Engine::build_warm(
     const double target_residual =
         std::max(base->rough.final_relative_residual, 1e-14);
     const int max_iterations = std::max(2 * iterations, 8);
+    const Clock::time_point solve_start = Clock::now();
     entry->rough =
         solver->solve_warm(base->rough.node_voltage, target_residual, max_iterations);
+    result.stages.solve_seconds = seconds_between(solve_start, Clock::now());
     entry->solver = std::move(solver);
 
+    const Clock::time_point feature_start = Clock::now();
     // Refresh only the feature groups the delta actually dirtied; geometry
     // maps (eff_dist, pdn_density_*) carry over untouched.
     features::DirtyChannels dirty;
@@ -447,6 +529,7 @@ std::shared_ptr<Engine::CacheEntry> Engine::build_warm(
       entry->sample.rough_bottom =
           features::label_map(*entry->design, entry->rough, image_size);
     }
+    result.stages.feature_seconds = seconds_between(feature_start, Clock::now());
     result.numerical_seconds = span.seconds();
     result.warm_start = true;
     span.add_arg("resistor_edits", delta.resistor_edits);
@@ -471,9 +554,13 @@ std::shared_ptr<Engine::CacheEntry> Engine::build_warm(
     // content hits from its sample. The caller rebuilds cold.
     obs::info() << "serve: warm re-analysis of " << request.design->name
                 << " failed (" << e.what() << "); cold rebuild";
-    std::lock_guard<std::mutex> lk(cache_mutex_);
-    ++stats_.warm_fallbacks;
+    {
+      std::lock_guard<std::mutex> lk(cache_mutex_);
+      ++stats_.warm_fallbacks;
+    }
     obs::count("serve.warm_fallbacks");
+    flight_.record("warm_fallback", result.req_id, 0.0, e.what());
+    maybe_dump_flight("warm fallback");
     return nullptr;
   }
 }
@@ -515,8 +602,14 @@ void Engine::process_batch(std::vector<std::shared_ptr<Pending>> batch) {
   work.reserve(batch.size());
   for (std::shared_ptr<Pending>& p : batch) {
     AnalysisResult r;
+    r.req_id = p->id;
     r.queue_seconds = seconds_between(p->enqueued, t0);
+    r.stages.queue_wait_seconds = r.queue_seconds;
     r.design_name = p->request.design->name;
+    obs::emit_span("serve_queue_wait", "serve", p->enqueued, t0,
+                   {{"req_id", static_cast<double>(p->id)},
+                    {"queue_depth", static_cast<double>(p->queue_depth_at_admission)}});
+    flight_.record("dequeue", p->id, r.queue_seconds);
     bool cancelled = false;
     {
       std::lock_guard<std::mutex> lk(mutex_);
@@ -524,17 +617,27 @@ void Engine::process_batch(std::vector<std::shared_ptr<Pending>> batch) {
     }
     if (cancelled) {
       r.status = ResultStatus::kCancelled;
+      flight_.record("cancelled", p->id, r.queue_seconds);
       fulfil(*p, std::move(r));
       continue;
     }
     if (t0 > p->deadline) {
       r.status = ResultStatus::kTimedOut;
       r.error = "deadline expired while queued";
+      flight_.record("deadline_missed", p->id, r.queue_seconds, r.error);
+      // Dump before fulfilment: a waiter unblocked by the promise may read
+      // the dump file immediately.
+      maybe_dump_flight("deadline miss");
       fulfil(*p, std::move(r));
       continue;
     }
     work.push_back(Work{std::move(p), std::move(r), nullptr});
   }
+  const Clock::time_point formed = Clock::now();
+  for (Work& w : work) {
+    w.result.stages.batch_form_seconds = seconds_between(t0, formed);
+  }
+  obs::record_histogram("serve.batch.size", static_cast<double>(work.size()));
 
   // Stage A: per-design numerical + feature state, cached across requests.
   std::vector<Work> alive;
@@ -543,6 +646,17 @@ void Engine::process_batch(std::vector<std::shared_ptr<Pending>> batch) {
     try {
       w.entry = lookup_or_build(w.pending->request, w.result);
       w.result.rough = w.entry->sample.rough_bottom;
+      w.result.solver_iterations = w.entry->rough.iterations;
+      w.result.solver_final_residual = w.entry->rough.final_relative_residual;
+    } catch (const CheckError& e) {
+      // An invariant tripped inside the numerical stage: preserve the ring
+      // for post-mortem before failing the request like any other error.
+      w.result.status = ResultStatus::kFailed;
+      w.result.error = e.what();
+      flight_.record("check_error", w.result.req_id, 0.0, e.what());
+      maybe_dump_flight("check error");
+      fulfil(*w.pending, std::move(w.result));
+      continue;
     } catch (const std::exception& e) {
       w.result.status = ResultStatus::kFailed;
       w.result.error = e.what();
@@ -554,6 +668,9 @@ void Engine::process_batch(std::vector<std::shared_ptr<Pending>> batch) {
     if (Clock::now() > w.pending->deadline) {
       w.result.status = ResultStatus::kTimedOut;
       w.result.error = "deadline expired during numerical stage";
+      flight_.record("deadline_missed", w.result.req_id,
+                     seconds_between(w.pending->enqueued, Clock::now()), w.result.error);
+      maybe_dump_flight("deadline miss");
       fulfil(*w.pending, std::move(w.result));
       continue;
     }
@@ -565,6 +682,7 @@ void Engine::process_batch(std::vector<std::shared_ptr<Pending>> batch) {
   bool model_ok = pipeline_.has_value();
   std::string model_error = model_ok ? "" : "no model loaded";
   if (model_ok) {
+    const Clock::time_point infer_start = Clock::now();
     try {
       obs::ScopedSpan infer_span("serve_infer", "serve");
       infer_span.add_arg("batch", static_cast<double>(alive.size()));
@@ -596,7 +714,8 @@ void Engine::process_batch(std::vector<std::shared_ptr<Pending>> batch) {
       const std::size_t plane =
           static_cast<std::size_t>(single.h) * static_cast<std::size_t>(single.w);
       const bool add_rough = pipeline_->refines_rough_solution();
-      const double infer_seconds = infer_span.seconds();
+      const Clock::time_point infer_end = Clock::now();
+      const double infer_seconds = seconds_between(infer_start, infer_end);
       for (int i = 0; i < n; ++i) {
         Work& w = alive[static_cast<std::size_t>(i)];
         GridF map(single.h, single.w);
@@ -613,8 +732,22 @@ void Engine::process_batch(std::vector<std::shared_ptr<Pending>> batch) {
         w.result.status = ResultStatus::kOk;
         w.result.batch_size = n;
         w.result.inference_seconds = infer_seconds;
+        w.result.stages.inference_seconds = infer_seconds;
+        // Per-request view of the shared forward: same interval, the
+        // request's own id — so a trace filtered by req_id still shows the
+        // inference stage.
+        obs::emit_span("serve_infer_share", "serve", infer_start, infer_end,
+                       {{"req_id", static_cast<double>(w.result.req_id)},
+                        {"batch", static_cast<double>(n)}});
       }
       obs::set_gauge("serve.batch.last_size", static_cast<double>(n));
+    } catch (const CheckError& e) {
+      model_ok = false;
+      model_error = e.what();
+      flight_.record("check_error", 0, static_cast<double>(alive.size()), e.what());
+      maybe_dump_flight("check error");
+      obs::info() << "serve: inference failed (" << model_error
+                  << "); degrading batch of " << alive.size();
     } catch (const std::exception& e) {
       model_ok = false;
       model_error = e.what();
@@ -632,11 +765,13 @@ void Engine::process_batch(std::vector<std::shared_ptr<Pending>> batch) {
         w.result.ir_drop = w.result.rough;
         w.result.batch_size = static_cast<int>(alive.size());
         w.result.error = model_error;
+        flight_.record("degraded", w.result.req_id, 0.0, model_error);
       } else {
         w.result.status = ResultStatus::kFailed;
         w.result.error = "model path unavailable: " + model_error;
       }
     }
+    maybe_dump_flight("degradation");
   }
   for (Work& w : alive) fulfil(*w.pending, std::move(w.result));
 }

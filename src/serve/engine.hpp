@@ -27,8 +27,15 @@
 ///
 /// Telemetry: serve.queue.depth / serve.cache.bytes gauges, cache
 /// hit/miss/eviction + warm_hits/warm_fallbacks + degraded/timeout
-/// counters, and serve_batch / serve_numerical (warm arg) / serve_infer
-/// spans (docs/OBSERVABILITY.md).
+/// counters, serve.batch.size / serve.queue.depth_at_admission histograms,
+/// and request-scoped spans — serve_queue_wait / serve_numerical /
+/// serve_infer_share / serve_request all carry the request's `req_id` arg,
+/// alongside the batch-level serve_batch / serve_infer spans. Each
+/// AnalysisResult returns the per-stage latency breakdown (StageTimings)
+/// and the solver convergence behind its rough map. A fixed-size flight
+/// recorder retains recent engine events and is dumped as JSON on
+/// degradation, deadline miss, warm fallback or CheckError
+/// (docs/OBSERVABILITY.md).
 
 #include <condition_variable>
 #include <cstdint>
@@ -43,6 +50,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "obs/flight.hpp"
 #include "serve/api.hpp"
 
 namespace irf::serve {
@@ -129,6 +137,11 @@ class Engine {
   int queue_depth() const;
   void clear_cache();
 
+  /// Flight-recorder JSON dump on demand: returns the document and, when
+  /// `path` is non-empty, also writes it there (overwrite; throws
+  /// irf::Error on write failure).
+  std::string dump_flight_recorder(const std::string& path = std::string()) const;
+
  private:
   struct Pending;
   struct CacheEntry;
@@ -149,6 +162,9 @@ class Engine {
                                          AnalysisResult& result);
   void evict_to_budget();
   void fulfil(Pending& pending, AnalysisResult result);
+  /// Auto-dump the flight recorder to options_.flight_dump_path (no-op when
+  /// unset; export failures are logged, never thrown into the serve path).
+  void maybe_dump_flight(const char* reason);
 
   EngineOptions options_;
   std::optional<core::IrFusionPipeline> pipeline_;
@@ -167,6 +183,8 @@ class Engine {
   std::unordered_map<std::uint64_t, std::shared_ptr<CacheEntry>> cache_;
   std::uint64_t lru_tick_ = 0;
   EngineStats stats_;
+
+  obs::FlightRecorder flight_;
 
   std::thread dispatcher_;
 };

@@ -1,7 +1,10 @@
 #!/bin/sh
 # Run a (filtered, short) benchmark binary and validate the BENCH_<name>.json
 # telemetry artifact it must leave behind (see obs::enable_bench_metrics).
-# Usage: bench_artifact.sh BENCH_BINARY BENCH_NAME IRF_CLI WORKDIR [bench args...]
+# Usage: bench_artifact.sh BENCH_BINARY BENCH_NAME IRF_CLI WORKDIR
+#                          [--require PATTERN]... [bench args...]
+# Each --require PATTERN (fixed string, no spaces) must appear in the
+# artifact; used to pin schema fields like e2e_p99_seconds.
 set -e
 
 BENCH="$1"
@@ -9,6 +12,12 @@ NAME="$2"
 CLI="$3"
 WORK="$4"
 shift 4
+
+REQUIRES=""
+while [ "$1" = "--require" ]; do
+  REQUIRES="$REQUIRES $2"
+  shift 2
+done
 
 mkdir -p "$WORK"
 cd "$WORK"
@@ -18,4 +27,10 @@ rm -f "BENCH_$NAME.json"
 
 test -s "BENCH_$NAME.json" || { echo "BENCH_$NAME.json missing or empty"; exit 1; }
 "$CLI" json-check "BENCH_$NAME.json"
+for pat in $REQUIRES; do
+  grep -F -q "$pat" "BENCH_$NAME.json" || {
+    echo "BENCH_$NAME.json lacks required field: $pat"
+    exit 1
+  }
+done
 echo "BENCH_ARTIFACT_PASS $NAME"

@@ -48,6 +48,27 @@ IRF_TRACE="$WORK/env_trace.json" "$CLI" solve "$DECK" --iters 3 --px 32
 test -s "$WORK/env_trace.json"
 "$CLI" json-check "$WORK/env_trace.json"
 grep -q '"name":"rough_solve"' "$WORK/env_trace.json"
+# Convergence telemetry always rides the solve span; the residual curve only
+# appears under the IRF_RESIDUAL_CURVES gate.
+grep -q 'final_relative_residual' "$WORK/env_trace.json"
+if grep -q '"r0"' "$WORK/env_trace.json"; then
+  echo "residual curve captured without IRF_RESIDUAL_CURVES"; exit 1
+fi
+IRF_TRACE="$WORK/env_trace_curve.json" IRF_RESIDUAL_CURVES=1 \
+  "$CLI" solve "$DECK" --iters 3 --px 32
+"$CLI" json-check "$WORK/env_trace_curve.json"
+grep -q '"r0"' "$WORK/env_trace_curve.json"
+grep -q 'res_curve_stride' "$WORK/env_trace_curve.json"
+
+echo "== prometheus exposition (--prom-out / prom-check) =="
+"$CLI" solve "$DECK" --iters 3 --px 32 --prom-out "$WORK/metrics.prom"
+test -s "$WORK/metrics.prom"
+grep -q '^# TYPE irf_' "$WORK/metrics.prom"
+grep -q 'quantile="0.99"' "$WORK/metrics.prom"
+"$CLI" prom-check "$WORK/metrics.prom"
+if "$CLI" prom-check "$WORK/rough.csv"; then
+  echo "prom-check must reject CSV"; exit 1
+fi
 
 echo "== quiet mode =="
 OUT=$(IRF_LOG_LEVEL=quiet "$CLI" solve "$DECK" --iters 3 --px 32)
@@ -79,10 +100,26 @@ for d in "$WORK/designs"/*/; do
 done
 cmp "$WORK/pred.csv" "$WORK/served/$(basename "$(dirname "$DECK")").csv"
 
-echo "== serve-batch without a model degrades gracefully =="
+echo "== serve-batch without a model degrades gracefully (+ flight dump) =="
 "$CLI" serve-batch --designs "$WORK/designs" --out-dir "$WORK/served_degraded" \
-  --batch 2
+  --batch 2 --flight-out "$WORK/flight.json"
 test -s "$WORK/served_degraded/$(basename "$(dirname "$DECK")").csv"
+# A model-less engine degrades every request; the flight dump must record it.
+test -s "$WORK/flight.json"
+"$CLI" json-check "$WORK/flight.json"
+grep -q '"event":"degraded"' "$WORK/flight.json"
+grep -q '"event":"submit"' "$WORK/flight.json"
+
+echo "== serve-batch periodic prometheus snapshots =="
+"$CLI" serve-batch --load-model "$WORK/model.bin" --designs "$WORK/designs" \
+  --out-dir "$WORK/served_prom" --batch 2 \
+  --prom-out "$WORK/serve.prom" --prom-every-seconds 0.05
+test -s "$WORK/serve.prom"
+"$CLI" prom-check "$WORK/serve.prom"
+grep -q 'irf_serve_request_seconds' "$WORK/serve.prom"
+if "$CLI" serve-batch --designs "$WORK/designs" --prom-every-seconds 0.05; then
+  echo "--prom-every-seconds without --prom-out must fail"; exit 1
+fi
 
 echo "== error handling =="
 if "$CLI" bogus-subcommand; then echo "unknown subcommand must fail"; exit 1; fi

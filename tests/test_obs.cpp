@@ -5,10 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 
 namespace {
@@ -242,6 +249,263 @@ TEST_F(ObsTest, JsonParserRejectsMalformedInput) {
   EXPECT_THROW(obs::parse_json("{} trailing"), ParseError);
   EXPECT_THROW(obs::parse_json("\"unterminated"), ParseError);
   EXPECT_THROW(obs::parse_json("nul"), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+
+/// Exact nearest-rank quantile over a copy of `values` (the estimator the
+/// log-bucketed histogram approximates).
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(values.size()));
+  rank = std::min(rank, values.size() - 1);
+  return values[rank];
+}
+
+TEST_F(ObsTest, HistogramQuantilesTrackExactWithinBucketResolution) {
+  obs::Histogram h;
+  std::vector<double> values;
+  // Deterministic spread over 4 decades: 1e-4 .. ~1.0 seconds.
+  for (int i = 0; i < 10000; ++i) {
+    const double v = 1e-4 * std::pow(10.0, 4.0 * i / 10000.0);
+    values.push_back(v);
+    h.record(v);
+  }
+  const obs::Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 10000u);
+  // Log-bucketed at 10 buckets/decade: any quantile is within one bucket
+  // width, i.e. a multiplicative factor of 10^0.1.
+  const double tol = std::pow(10.0, 0.1) + 1e-12;
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = exact_quantile(values, q);
+    const double est = snap.quantile(q);
+    EXPECT_LE(est / exact, tol) << "q=" << q;
+    EXPECT_LE(exact / est, tol) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(snap.min, values.front());
+  EXPECT_DOUBLE_EQ(snap.max, values.back());
+}
+
+TEST_F(ObsTest, HistogramUnderflowAndOverflowClampToObservedExtremes) {
+  obs::Histogram h;
+  h.record(0.0);      // underflow bucket (below kMinTracked)
+  h.record(-3.0);     // negative also lands in underflow
+  h.record(1e-12);    // sub-resolution
+  h.record(5.0e6);    // overflow bucket (above 1e4)
+  const obs::Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.min, -3.0);
+  EXPECT_DOUBLE_EQ(snap.max, 5.0e6);
+  // Quantiles in the underflow bucket report the observed min; in the
+  // overflow bucket the observed max — never an invented bucket midpoint.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), -3.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.999), 5.0e6);
+}
+
+TEST_F(ObsTest, HistogramEmptyAndResetSnapshotsAreZero) {
+  obs::Histogram h;
+  obs::Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.99), 0.0);
+  h.record(1.0);
+  h.reset();
+  snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+}
+
+TEST_F(ObsTest, HistogramNanIsDropped) {
+  obs::Histogram h;
+  h.record(std::nan(""));
+  h.record(0.5);
+  const obs::Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+}
+
+TEST_F(ObsTest, ConcurrentHistogramRecordsDoNotLose) {
+  // Runs both narrow and under IRF_THREADS=4 (test_obs_threads4): the
+  // lock-free bucket counters must agree with the exact per-thread totals.
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kRecords; ++i) {
+        obs::record_histogram("mt.hist", 1e-3 * (1 + ((t * kRecords + i) % 1000)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const obs::Histogram::Snapshot snap =
+      obs::MetricsRegistry::instance().histogram("mt.hist").snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kRecords);
+  EXPECT_DOUBLE_EQ(snap.min, 1e-3);
+  EXPECT_DOUBLE_EQ(snap.max, 1.0);
+  // All threads record the same value multiset, so the quantiles are exact
+  // regardless of interleaving.
+  const double tol = std::pow(10.0, 0.1) + 1e-12;
+  const double p50 = snap.quantile(0.5);
+  EXPECT_LE(p50 / 0.5, tol);
+  EXPECT_LE(0.5 / p50, tol);
+}
+
+TEST_F(ObsTest, TimerStatsCarryQuantiles) {
+  for (int i = 1; i <= 100; ++i) obs::record_timer("q.timer", 1e-3 * i);
+  const obs::Timer::Stats s = obs::MetricsRegistry::instance().timer("q.timer").stats();
+  EXPECT_EQ(s.count, 100u);
+  const double tol = std::pow(10.0, 0.1) + 1e-12;
+  EXPECT_LE(s.p50_seconds / 0.050, tol);
+  EXPECT_LE(0.050 / s.p50_seconds, tol);
+  EXPECT_LE(s.p99_seconds / 0.099, tol);
+  EXPECT_LE(0.099 / s.p99_seconds, tol);
+  EXPECT_GE(s.p999_seconds, s.p99_seconds * (1.0 / tol));
+}
+
+TEST_F(ObsTest, MetricsJsonCarriesTimerQuantilesAndHistograms) {
+  obs::record_timer("json.q.timer", 0.25);
+  obs::record_histogram("json.q.hist", 2.0);
+  obs::record_histogram("json.q.hist", 8.0);
+  const obs::JsonValue doc = obs::parse_json(obs::metrics_json());
+  const obs::JsonValue& timer = doc.at("timers").at("json.q.timer");
+  EXPECT_TRUE(timer.has("p50_seconds"));
+  EXPECT_TRUE(timer.has("p99_seconds"));
+  EXPECT_TRUE(timer.has("p999_seconds"));
+  const obs::JsonValue& hist = doc.at("histograms").at("json.q.hist");
+  EXPECT_DOUBLE_EQ(hist.at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number, 10.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").number, 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").number, 8.0);
+  EXPECT_GT(hist.at("p99").number, 0.0);
+}
+
+TEST_F(ObsTest, JsonNumberEmitsNullForNonFinite) {
+  // Regression: a NaN timer/metric value must not produce invalid JSON.
+  EXPECT_EQ(obs::json_number(std::nan("")), "null");
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(obs::json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_NO_THROW(obs::parse_json("{\"v\": " + obs::json_number(std::nan("")) + "}"));
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST_F(ObsTest, PrometheusTextRoundTripsThroughValidator) {
+  obs::count("prom.requests", 3);
+  obs::set_gauge("prom.queue.depth", 2.0);
+  obs::record_timer("prom.latency", 0.125);
+  obs::record_histogram("prom.batch.size", 4.0);
+  const std::string text = obs::prometheus_text();
+  // Names are sanitized under the irf_ prefix and typed.
+  EXPECT_NE(text.find("# TYPE irf_prom_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE irf_prom_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE irf_prom_latency_seconds summary"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("# TYPE irf_prom_batch_size histogram"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  const std::size_t samples = obs::check_prometheus_text(text);
+  EXPECT_GT(samples, 8u);
+}
+
+TEST_F(ObsTest, PrometheusValidatorRejectsMalformedInput) {
+  EXPECT_THROW(obs::check_prometheus_text("not prometheus at all{"), ParseError);
+  EXPECT_THROW(obs::check_prometheus_text("metric_name not_a_number\n"), ParseError);
+  EXPECT_THROW(obs::check_prometheus_text("# TYPE irf_x bogus_kind\n"), ParseError);
+  EXPECT_NO_THROW(obs::check_prometheus_text("# a plain comment\nok_metric 1\n"));
+}
+
+// ---------------------------------------------------------------------------
+// Retroactive spans
+
+TEST_F(ObsTest, EmitSpanRecordsTimerAndTraceEvent) {
+  obs::set_trace_enabled(true);
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = start + std::chrono::milliseconds(2);
+  obs::emit_span("retro.span", "serve", start, end, {{"req_id", 7.0}});
+  const obs::Timer::Stats s = obs::MetricsRegistry::instance().timer("retro.span").stats();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_NEAR(s.total_seconds, 0.002, 1e-9);
+  const std::vector<obs::TraceEvent> events = obs::trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "retro.span");
+  EXPECT_EQ(events[0].category, "serve");
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "req_id");
+  EXPECT_DOUBLE_EQ(events[0].args[0].second, 7.0);
+}
+
+TEST_F(ObsTest, EmitSpanClampsReversedInterval) {
+  const auto start = std::chrono::steady_clock::now();
+  obs::emit_span("retro.clamp", "serve", start, start - std::chrono::milliseconds(5));
+  const obs::Timer::Stats s =
+      obs::MetricsRegistry::instance().timer("retro.clamp").stats();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.total_seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST_F(ObsTest, FlightRecorderKeepsLastCapacityEvents) {
+  obs::FlightRecorder fr(4);
+  EXPECT_EQ(fr.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    fr.record("event", static_cast<std::uint64_t>(i), static_cast<double>(i));
+  }
+  const std::vector<obs::FlightRecord> records = fr.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(fr.dropped(), 6u);
+  // Oldest-first, holding exactly the newest 4 events.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[static_cast<std::size_t>(i)].req_id,
+              static_cast<std::uint64_t>(6 + i));
+  }
+  // Timestamps are monotonic non-decreasing.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].t_seconds, records[i - 1].t_seconds);
+  }
+}
+
+TEST_F(ObsTest, FlightRecorderDumpJsonParsesBack) {
+  obs::FlightRecorder fr(8);
+  fr.record("submit", 1, 0.0, "first");
+  fr.record("degraded", 2, 1.5, "quote \" and \\ backslash");
+  const obs::JsonValue doc = obs::parse_json(fr.dump_json());
+  const obs::JsonValue& body = doc.at("flight_recorder");
+  EXPECT_DOUBLE_EQ(body.at("capacity").number, 8.0);
+  EXPECT_DOUBLE_EQ(body.at("dropped").number, 0.0);
+  EXPECT_TRUE(body.has("wall_anchor_unix_seconds"));
+  const obs::JsonValue& records = body.at("records");
+  ASSERT_EQ(records.array.size(), 2u);
+  EXPECT_EQ(records.array[0].at("event").string, "submit");
+  EXPECT_EQ(records.array[0].at("detail").string, "first");
+  EXPECT_EQ(records.array[1].at("event").string, "degraded");
+  EXPECT_DOUBLE_EQ(records.array[1].at("req_id").number, 2.0);
+  EXPECT_DOUBLE_EQ(records.array[1].at("value").number, 1.5);
+}
+
+TEST_F(ObsTest, FlightRecorderTruncatesDetailAndClears) {
+  obs::FlightRecorder fr(2);
+  fr.record("long", 1, 0.0, std::string(1000, 'x'));
+  ASSERT_EQ(fr.records().size(), 1u);
+  EXPECT_LE(fr.records()[0].detail.size(), 160u);
+  fr.clear();
+  EXPECT_TRUE(fr.records().empty());
+  EXPECT_EQ(fr.dropped(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Residual-curve gate
+
+TEST_F(ObsTest, ResidualCurveCaptureDefaultsOffAndToggles) {
+  EXPECT_FALSE(obs::residual_curve_capture());
+  obs::set_residual_curve_capture(true);
+  EXPECT_TRUE(obs::residual_curve_capture());
+  obs::set_residual_curve_capture(false);
+  EXPECT_FALSE(obs::residual_curve_capture());
 }
 
 TEST_F(ObsTest, JsonParserRoundTripsEscapes) {

@@ -15,11 +15,13 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <thread>
 
 #include "common/error.hpp"
 #include "features/extractor.hpp"
 #include "irf.hpp"
+#include "obs/obs.hpp"
 
 namespace irf::serve {
 namespace {
@@ -582,6 +584,184 @@ TEST(EngineRobustness, NullDesignRejectedAtSubmit) {
   Engine engine{EngineOptions{}};
   EXPECT_THROW(engine.submit(AnalysisRequest{}), ConfigError);
   EXPECT_THROW(engine.try_submit(AnalysisRequest{}), ConfigError);
+}
+
+// --- request-scoped telemetry ----------------------------------------------
+
+/// RAII guard: enables metrics + tracing with clean buffers, restores the
+/// defaults on exit so the other suites stay telemetry-free.
+struct TelemetryOn {
+  TelemetryOn() {
+    obs::MetricsRegistry::instance().clear();
+    obs::clear_trace_events();
+    obs::set_metrics_enabled(true);
+    obs::set_trace_enabled(true);
+  }
+  ~TelemetryOn() {
+    obs::set_metrics_enabled(false);
+    obs::set_trace_enabled(false);
+    obs::MetricsRegistry::instance().clear();
+    obs::clear_trace_events();
+  }
+};
+
+double span_arg(const obs::TraceEvent& e, const std::string& key, double missing) {
+  for (const auto& [k, v] : e.args) {
+    if (k == key) return v;
+  }
+  return missing;
+}
+
+TEST_F(ServeFixture, RequestSpansShareOneReqId) {
+  TelemetryOn telemetry;
+  auto engine = Engine::from_checkpoint(*checkpoint_path_);
+  AnalysisResult r = engine->analyze(test_design());
+  ASSERT_TRUE(r.ok()) << r.error;
+
+  EXPECT_GT(r.req_id, 0u);
+  EXPECT_GT(r.submit_unix_seconds, 0.0);
+  EXPECT_GE(r.queue_depth_at_admission, 1);
+  EXPECT_GT(r.solver_iterations, 0);
+  EXPECT_GT(r.solver_final_residual, 0.0);
+  EXPECT_GT(r.stages.total_seconds, 0.0);
+  EXPECT_GT(r.stages.queue_wait_seconds, 0.0);
+  EXPECT_GT(r.stages.solve_seconds, 0.0);
+  EXPECT_GT(r.stages.inference_seconds, 0.0);
+  EXPECT_GE(r.stages.respond_seconds, 0.0);
+
+  // Every per-request span of this request — queue wait, the numerical
+  // stage, its inference share and the end-to-end envelope — carries the
+  // result's req_id as a span arg.
+  const std::vector<obs::TraceEvent> events = obs::trace_events();
+  const double id = static_cast<double>(r.req_id);
+  for (const char* name :
+       {"serve_queue_wait", "serve_numerical", "serve_infer_share", "serve_request"}) {
+    bool found = false;
+    for (const obs::TraceEvent& e : events) {
+      if (e.name == name && span_arg(e, "req_id", -1.0) == id) found = true;
+    }
+    EXPECT_TRUE(found) << "no span named " << name << " with req_id " << r.req_id;
+  }
+  // The envelope span also carries admission-time queue depth and batch.
+  for (const obs::TraceEvent& e : events) {
+    if (e.name == "serve_request") {
+      EXPECT_GE(span_arg(e, "queue_depth", -1.0), 1.0);
+      EXPECT_GE(span_arg(e, "batch", -1.0), 1.0);
+    }
+  }
+}
+
+TEST_F(ServeFixture, ReqIdsAreMonotonicAcrossRequests) {
+  auto engine = Engine::from_checkpoint(*checkpoint_path_);
+  AnalysisResult a = engine->analyze(test_design());
+  AnalysisResult b = engine->analyze(test_design());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b.req_id, a.req_id);
+  EXPECT_TRUE(b.cache_hit);
+  // A cache hit reports the cached solve's convergence telemetry.
+  EXPECT_EQ(b.solver_iterations, a.solver_iterations);
+  EXPECT_DOUBLE_EQ(b.solver_final_residual, a.solver_final_residual);
+}
+
+TEST(EngineFlight, DegradedRequestDumpsParseableFlightRecord) {
+  const std::string dump = temp_path("serve_flight_degraded");
+  Rng rng(21);
+  pg::PgDesign design = pg::generate_fake_design(32, rng, "flight");
+  EngineOptions opts;
+  opts.fallback_image_size = 32;
+  opts.fallback_rough_iterations = 2;
+  opts.flight_dump_path = dump;
+  Engine engine(opts);  // model-less: every request degrades
+  AnalysisResult r = engine.analyze(design);
+  EXPECT_EQ(r.status, ResultStatus::kDegraded);
+
+  // The auto-dump landed and is valid JSON with the degradation on record.
+  std::ifstream f(dump);
+  ASSERT_TRUE(f.good()) << "flight dump missing: " << dump;
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const obs::JsonValue doc = obs::parse_json(buf.str());
+  const obs::JsonValue& body = doc.at("flight_recorder");
+  EXPECT_GT(body.at("capacity").number, 0.0);
+  bool saw_submit = false, saw_degraded = false;
+  for (const obs::JsonValue& rec : body.at("records").array) {
+    if (rec.at("event").string == "submit") saw_submit = true;
+    if (rec.at("event").string == "degraded" &&
+        rec.at("req_id").number == static_cast<double>(r.req_id)) {
+      saw_degraded = true;
+    }
+  }
+  EXPECT_TRUE(saw_submit);
+  EXPECT_TRUE(saw_degraded);
+  fs::remove(dump);
+
+  // On-demand dump still works and parses.
+  const obs::JsonValue live = obs::parse_json(engine.dump_flight_recorder());
+  EXPECT_FALSE(live.at("flight_recorder").at("records").array.empty());
+}
+
+TEST(EngineFlight, DeadlineMissDumpsFlightRecord) {
+  const std::string dump = temp_path("serve_flight_deadline");
+  Rng rng(22);
+  auto design = std::make_shared<pg::PgDesign>(
+      pg::generate_fake_design(32, rng, "flight_deadline"));
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.flight_dump_path = dump;
+  Engine engine(opts);
+  AnalysisRequest request;
+  request.design = design;
+  request.timeout_seconds = 0.01;
+  Engine::Ticket ticket = engine.submit(std::move(request));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  engine.resume();
+  AnalysisResult r = ticket.result.get();
+  ASSERT_EQ(r.status, ResultStatus::kTimedOut);
+  EXPECT_GT(r.req_id, 0u);
+
+  std::ifstream f(dump);
+  ASSERT_TRUE(f.good()) << "flight dump missing: " << dump;
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const obs::JsonValue doc = obs::parse_json(buf.str());
+  bool saw_miss = false;
+  for (const obs::JsonValue& rec : doc.at("flight_recorder").at("records").array) {
+    if (rec.at("event").string == "deadline_missed" &&
+        rec.at("req_id").number == static_cast<double>(r.req_id)) {
+      saw_miss = true;
+    }
+  }
+  EXPECT_TRUE(saw_miss);
+  fs::remove(dump);
+}
+
+TEST_F(ServeFixture, TelemetryOnOffIsBitIdentical) {
+  // The whole observability layer is read-only: enabling metrics + tracing
+  // (and the residual-curve capture) must not move a single output bit.
+  GridF with_telemetry, without_telemetry;
+  {
+    TelemetryOn telemetry;
+    obs::set_residual_curve_capture(true);
+    auto engine = Engine::from_checkpoint(*checkpoint_path_);
+    AnalysisResult r = engine->analyze(test_design());
+    ASSERT_TRUE(r.ok()) << r.error;
+    with_telemetry = r.ir_drop;
+    obs::set_residual_curve_capture(false);
+  }
+  {
+    auto engine = Engine::from_checkpoint(*checkpoint_path_);
+    AnalysisResult r = engine->analyze(test_design());
+    ASSERT_TRUE(r.ok()) << r.error;
+    without_telemetry = r.ir_drop;
+  }
+  EXPECT_EQ(with_telemetry.data(), without_telemetry.data());
+}
+
+TEST(EngineFlight, RecorderCapacityIsValidated) {
+  EngineOptions opts;
+  opts.flight_recorder_capacity = 0;
+  EXPECT_THROW(Engine{opts}, ConfigError);
 }
 
 TEST(EngineCheckpoint, MissingFileDegradesOrThrows) {

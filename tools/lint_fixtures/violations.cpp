@@ -24,8 +24,19 @@ float type_pun(int bits) {
 
 namespace obs {
 void count(const char* name);
+void record_histogram(const char* name, double value);
 }
 
 void bad_metric_name() {
   obs::count("Bad-Metric Name");  // rule: obs-name (uppercase, dash, space)
+}
+
+void bad_histogram_name() {
+  obs::record_histogram("BadHistName", 1.0);  // rule: obs-name (uppercase)
+}
+
+void kind_conflict() {
+  // rule: obs-name — same name registered as counter and histogram.
+  obs::count("fixture.dup");
+  obs::record_histogram("fixture.dup", 1.0);
 }
