@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "par/par.hpp"
+#include "simd/simd.hpp"
 
 namespace irf::linalg {
 
@@ -20,22 +21,20 @@ void jacobi_sweep(const CsrMatrix& a, const Vec& b, Vec& x, double omega) {
   check_sizes(a, b, x);
   // Jacobi reads the old iterate everywhere, so rows update independently:
   // this is the parallel-safe relaxation (Gauss-Seidel below is sequential
-  // by construction). The residual SpMV parallelizes inside multiply().
+  // by construction). The residual SpMV parallelizes inside multiply(); the
+  // diagonal comes from the matrix's cache instead of a per-sweep search,
+  // with a zero scan up front so the update loop itself is branch-free and
+  // vectorizes (simd::jacobi_update).
   Vec r = subtract(b, a.multiply(x));
-  const auto& rp = a.row_ptr();
-  const auto& ci = a.col_idx();
-  const auto& v = a.values();
-  par::parallel_for(0, a.rows(), par::kRowGrain, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      double diag = 0.0;
-      for (int k = rp[i]; k < rp[i + 1]; ++k) {
-        if (ci[k] == i) diag = v[k];
-      }
-      if (diag == 0.0) {
-        throw NumericError("jacobi: zero diagonal at row " + std::to_string(i));
-      }
-      x[i] += omega * r[i] / diag;
+  const Vec& diag = a.cached_diagonal();
+  for (int i = 0; i < a.rows(); ++i) {
+    if (diag[i] == 0.0) {
+      throw NumericError("jacobi: zero diagonal at row " + std::to_string(i));
     }
+  }
+  par::parallel_for(0, a.rows(), par::kRowGrain, [&](std::int64_t lo, std::int64_t hi) {
+    simd::jacobi_update(r.data() + lo, diag.data() + lo, omega, x.data() + lo,
+                        hi - lo);
   });
 }
 
@@ -45,22 +44,21 @@ void gs_sweep(const CsrMatrix& a, const Vec& b, Vec& x, bool forward) {
   const auto& rp = a.row_ptr();
   const auto& ci = a.col_idx();
   const auto& v = a.values();
+  const auto& di = a.diag_index();
   const int n = a.rows();
   for (int step = 0; step < n; ++step) {
     const int i = forward ? step : n - 1 - step;
-    double s = b[i];
-    double diag = 0.0;
-    for (int k = rp[i]; k < rp[i + 1]; ++k) {
-      if (ci[k] == i) {
-        diag = v[k];
-      } else {
-        s -= v[k] * x[ci[k]];
-      }
-    }
-    if (diag == 0.0) {
+    // The cached diagonal position splits each row into two branch-free
+    // spans around the diagonal entry; the subtraction order (ascending
+    // column, diagonal skipped) is exactly the reference loop's.
+    const int dk = di[i];
+    if (dk < 0 || v[dk] == 0.0) {
       throw NumericError("gauss-seidel: zero diagonal at row " + std::to_string(i));
     }
-    x[i] = s / diag;
+    double s = b[i];
+    for (int k = rp[i]; k < dk; ++k) s -= v[k] * x[ci[k]];
+    for (int k = dk + 1; k < rp[i + 1]; ++k) s -= v[k] * x[ci[k]];
+    x[i] = s / v[dk];
   }
 }
 }  // namespace

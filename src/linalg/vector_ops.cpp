@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "par/par.hpp"
+#include "simd/simd.hpp"
 
 namespace irf::linalg {
 
@@ -20,13 +21,13 @@ void check_same_size(const Vec& a, const Vec& b, const char* op) {
 double dot(const Vec& a, const Vec& b) {
   check_same_size(a, b, "dot");
   // Chunked deterministic reduction: the partial layout depends only on the
-  // grain, so the result is bit-identical for any IRF_THREADS.
+  // grain, so the result is bit-identical for any IRF_THREADS. Each chunk
+  // runs the simd blocked-dot kernel, whose lane pattern is likewise fixed,
+  // so the result is also bit-identical for any ISA tier and for IRF_SIMD=0.
   return par::parallel_reduce(
       0, static_cast<std::int64_t>(a.size()), par::kReduceGrain, 0.0,
       [&](std::int64_t lo, std::int64_t hi) {
-        double s = 0.0;
-        for (std::int64_t i = lo; i < hi; ++i) s += a[i] * b[i];
-        return s;
+        return simd::dot(a.data() + lo, b.data() + lo, hi - lo);
       },
       [](double x, double y) { return x + y; });
 }
@@ -48,7 +49,7 @@ void axpy(double alpha, const Vec& x, Vec& y) {
   check_same_size(x, y, "axpy");
   par::parallel_for(0, static_cast<std::int64_t>(x.size()), par::kVecGrain,
                     [&](std::int64_t lo, std::int64_t hi) {
-                      for (std::int64_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
+                      simd::axpy(alpha, x.data() + lo, y.data() + lo, hi - lo);
                     });
 }
 
@@ -56,14 +57,14 @@ void xpby(const Vec& x, double beta, Vec& y) {
   check_same_size(x, y, "xpby");
   par::parallel_for(0, static_cast<std::int64_t>(x.size()), par::kVecGrain,
                     [&](std::int64_t lo, std::int64_t hi) {
-                      for (std::int64_t i = lo; i < hi; ++i) y[i] = x[i] + beta * y[i];
+                      simd::xpby(x.data() + lo, beta, y.data() + lo, hi - lo);
                     });
 }
 
 void scale(Vec& a, double alpha) {
   par::parallel_for(0, static_cast<std::int64_t>(a.size()), par::kVecGrain,
                     [&](std::int64_t lo, std::int64_t hi) {
-                      for (std::int64_t i = lo; i < hi; ++i) a[i] *= alpha;
+                      simd::scale(a.data() + lo, alpha, hi - lo);
                     });
 }
 
@@ -72,7 +73,8 @@ Vec subtract(const Vec& a, const Vec& b) {
   Vec out(a.size());
   par::parallel_for(0, static_cast<std::int64_t>(a.size()), par::kVecGrain,
                     [&](std::int64_t lo, std::int64_t hi) {
-                      for (std::int64_t i = lo; i < hi; ++i) out[i] = a[i] - b[i];
+                      simd::subtract(a.data() + lo, b.data() + lo, out.data() + lo,
+                                     hi - lo);
                     });
   return out;
 }

@@ -1,0 +1,6 @@
+// AVX2 kernel tier: the same generic bodies compiled with -mavx2 -mfma
+// (contraction still off — see kernels.inc). Only built when the compiler
+// accepts the flags; only selected at runtime when CPUID reports AVX2+FMA.
+#define IRF_SIMD_TIER_NS tier_avx2
+#define IRF_SIMD_TIER_TABLE avx2_table
+#include "simd/kernels.inc"

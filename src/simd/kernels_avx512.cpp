@@ -1,0 +1,7 @@
+// AVX-512 kernel tier: the same generic bodies compiled with
+// -mavx512f/vl/dq/bw so the 8-lane blocks map to single zmm registers.
+// Only built when the compiler accepts the flags; only selected at runtime
+// when CPUID reports the matching feature set.
+#define IRF_SIMD_TIER_NS tier_avx512
+#define IRF_SIMD_TIER_TABLE avx512_table
+#include "simd/kernels.inc"

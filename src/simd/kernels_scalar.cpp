@@ -1,0 +1,7 @@
+// Baseline kernel tier: the generic bodies compiled with the project-wide
+// flags only (no extra -m arch options). This TU always exists, so every
+// binary has a working table even on CPUs without AVX2/AVX-512, and it is
+// the table the IRF_SIMD=0 fallback path uses.
+#define IRF_SIMD_TIER_NS tier_baseline
+#define IRF_SIMD_TIER_TABLE baseline_table
+#include "simd/kernels.inc"

@@ -1,0 +1,98 @@
+#include "simd/sell.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace irf::simd {
+
+template <typename T>
+SellMatrix<T> build_sell(int rows, const int* row_ptr, const int* col_idx,
+                         const double* values) {
+  SellMatrix<T> m;
+  m.rows = rows;
+  m.num_slices = (rows + kLanes - 1) / kLanes;
+  m.perm.resize(static_cast<std::size_t>(rows));
+  m.row_len.resize(static_cast<std::size_t>(rows));
+  std::iota(m.perm.begin(), m.perm.end(), 0);
+
+  // Sigma-window sort: descending row length, stable so equal-length rows
+  // keep their natural order (determinism + locality).
+  for (int lo = 0; lo < rows; lo += kSellSigma) {
+    const int hi = std::min(rows, lo + kSellSigma);
+    std::stable_sort(m.perm.begin() + lo, m.perm.begin() + hi, [&](int a, int b) {
+      return (row_ptr[a + 1] - row_ptr[a]) > (row_ptr[b + 1] - row_ptr[b]);
+    });
+  }
+  for (int p = 0; p < rows; ++p) {
+    const int r = m.perm[static_cast<std::size_t>(p)];
+    m.row_len[static_cast<std::size_t>(p)] = row_ptr[r + 1] - row_ptr[r];
+  }
+
+  m.slice_width.resize(static_cast<std::size_t>(m.num_slices));
+  m.slice_min.resize(static_cast<std::size_t>(m.num_slices));
+  m.slice_off.resize(static_cast<std::size_t>(m.num_slices) + 1);
+  m.slice_off[0] = 0;
+  for (int s = 0; s < m.num_slices; ++s) {
+    const int base = s * kLanes;
+    const int active = std::min(kLanes, rows - base);
+    int width = 0;
+    int narrow = m.row_len[static_cast<std::size_t>(base)];
+    for (int l = 0; l < active; ++l) {
+      const int len = m.row_len[static_cast<std::size_t>(base + l)];
+      width = std::max(width, len);
+      narrow = std::min(narrow, len);
+    }
+    m.slice_width[static_cast<std::size_t>(s)] = width;
+    m.slice_min[static_cast<std::size_t>(s)] = narrow;
+    m.slice_off[static_cast<std::size_t>(s) + 1] =
+        m.slice_off[static_cast<std::size_t>(s)] +
+        static_cast<std::int64_t>(width) * kLanes;
+  }
+
+  const std::int64_t storage = m.slice_off[static_cast<std::size_t>(m.num_slices)];
+  m.cols.assign(static_cast<std::size_t>(storage), 0);
+  m.vals.assign(static_cast<std::size_t>(storage), T(0));
+  for (int s = 0; s < m.num_slices; ++s) {
+    const int base = s * kLanes;
+    const int active = std::min(kLanes, rows - base);
+    const std::int64_t off = m.slice_off[static_cast<std::size_t>(s)];
+    for (int l = 0; l < active; ++l) {
+      const int r = m.perm[static_cast<std::size_t>(base + l)];
+      const int len = m.row_len[static_cast<std::size_t>(base + l)];
+      for (int j = 0; j < len; ++j) {
+        const std::int64_t k = off + static_cast<std::int64_t>(j) * kLanes + l;
+        m.cols[static_cast<std::size_t>(k)] = col_idx[row_ptr[r] + j];
+        m.vals[static_cast<std::size_t>(k)] = static_cast<T>(values[row_ptr[r] + j]);
+      }
+    }
+  }
+  return m;
+}
+
+template <typename T>
+void refill_sell_values(SellMatrix<T>& m, const int* row_ptr, const double* values) {
+  for (int s = 0; s < m.num_slices; ++s) {
+    const int base = s * kLanes;
+    const int active = std::min(kLanes, m.rows - base);
+    const std::int64_t off = m.slice_off[static_cast<std::size_t>(s)];
+    for (int l = 0; l < active; ++l) {
+      const int r = m.perm[static_cast<std::size_t>(base + l)];
+      const int len = m.row_len[static_cast<std::size_t>(base + l)];
+      for (int j = 0; j < len; ++j) {
+        const std::int64_t k = off + static_cast<std::int64_t>(j) * kLanes + l;
+        m.vals[static_cast<std::size_t>(k)] = static_cast<T>(values[row_ptr[r] + j]);
+      }
+    }
+  }
+}
+
+template SellMatrix<double> build_sell<double>(int, const int*, const int*,
+                                               const double*);
+template SellMatrix<float> build_sell<float>(int, const int*, const int*,
+                                             const double*);
+template void refill_sell_values<double>(SellMatrix<double>&, const int*,
+                                         const double*);
+template void refill_sell_values<float>(SellMatrix<float>&, const int*,
+                                        const double*);
+
+}  // namespace irf::simd

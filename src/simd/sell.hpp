@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file sell.hpp
+/// SELL-C-sigma sliced sparse layout: the SIMD-friendly mirror of CsrMatrix.
+///
+/// Rows are reordered by descending length inside sigma-row windows (sigma
+/// bounds how far the permutation can move a row, keeping x-accesses local),
+/// then grouped into slices of C = simd::kLanes rows. Each slice stores its
+/// entries lane-interleaved ("column-major"): entry j of every row in the
+/// slice sits contiguously, so an 8-wide vector load picks up one entry from
+/// each of 8 rows. Short rows are zero-padded to the slice's max length.
+///
+/// The layout changes memory order only — each row keeps its CSR entry order,
+/// so a SELL SpMV accumulates exactly the reference CSR sums (see
+/// kernels.inc). CsrMatrix builds one lazily and caches it; AMG levels and
+/// the fp32 preconditioner mirror reuse the same builder.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simd/simd.hpp"
+
+namespace irf::simd {
+
+/// Sort-window width for the row-length permutation. A multiple of kLanes so
+/// no slice straddles a window boundary; 128 slices per window is enough to
+/// separate dense stripe-crossing rows from 4-entry interior rows in the
+/// power-grid Laplacians without losing locality.
+inline constexpr int kSellSigma = 1024;
+
+/// Owning SELL-C-sigma matrix (see SellView for the field semantics).
+template <typename T>
+struct SellMatrix {
+  int rows = 0;
+  int num_slices = 0;
+  std::vector<std::int64_t> slice_off;  ///< size num_slices + 1
+  std::vector<int> slice_width;
+  std::vector<int> slice_min;
+  std::vector<int> row_len;  ///< per sorted position
+  std::vector<int> perm;     ///< sorted position -> original row
+  std::vector<int> cols;     ///< padded, lane-interleaved
+  std::vector<T> vals;       ///< padded, lane-interleaved
+
+  SellView<T> view() const {
+    SellView<T> v;
+    v.rows = rows;
+    v.num_slices = num_slices;
+    v.slice_off = slice_off.data();
+    v.slice_width = slice_width.data();
+    v.slice_min = slice_min.data();
+    v.row_len = row_len.data();
+    v.perm = perm.data();
+    v.cols = cols.data();
+    v.vals = vals.data();
+    return v;
+  }
+
+  /// Heap bytes retained (capacity, matching CsrMatrix::memory_bytes so the
+  /// serve-cache byte budget sees the mirror too).
+  std::size_t memory_bytes() const {
+    return slice_off.capacity() * sizeof(std::int64_t) +
+           (slice_width.capacity() + slice_min.capacity() + row_len.capacity() +
+            perm.capacity() + cols.capacity()) *
+               sizeof(int) +
+           vals.capacity() * sizeof(T);
+  }
+};
+
+/// Build a SELL-C-sigma layout from raw CSR arrays; values are converted to
+/// T (float for the mixed-precision preconditioner mirror). The padding is
+/// value 0 / column 0, which the SpMV kernels never let reach a stored lane.
+template <typename T>
+SellMatrix<T> build_sell(int rows, const int* row_ptr, const int* col_idx,
+                         const double* values);
+
+/// Convenience: refresh only the value payload of an already-built layout
+/// (same sparsity, e.g. after AmgPcgSolver::update_matrix_values rebinds new
+/// conductances). Padding stays zero because pad slots are never written.
+template <typename T>
+void refill_sell_values(SellMatrix<T>& m, const int* row_ptr, const double* values);
+
+}  // namespace irf::simd

@@ -1,0 +1,171 @@
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace irf::simd {
+
+namespace {
+
+IsaTier probe_best_tier() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+#if defined(IRF_SIMD_HAVE_AVX512)
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512dq") && __builtin_cpu_supports("avx512bw")) {
+    return IsaTier::kAvx512;
+  }
+#endif
+#if defined(IRF_SIMD_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return IsaTier::kAvx2;
+  }
+#endif
+#endif
+  return IsaTier::kBaseline;
+}
+
+// Enable gate: -1 unresolved, 0 off, 1 on. Resolved once from IRF_SIMD
+// (unset/""/"1" = on, "0" = off, anything else warns and stays on — the same
+// warn-and-default contract IRF_THREADS follows); set_enabled() overrides.
+std::atomic<int> g_enabled{-1};
+std::once_flag g_env_once;
+
+void resolve_env() {
+  const char* raw = std::getenv("IRF_SIMD");
+  bool on = true;
+  if (raw != nullptr && *raw != '\0' && std::strcmp(raw, "1") != 0) {
+    if (std::strcmp(raw, "0") == 0) {
+      on = false;
+    } else {
+      obs::info() << "IRF_SIMD='" << raw << "' is not 0 or 1; keeping SIMD on";
+    }
+  }
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on ? 1 : 0);
+}
+
+void publish_tier_gauge() {
+  obs::set_gauge("simd.tier", static_cast<double>(static_cast<int>(active_tier())));
+}
+
+}  // namespace
+
+IsaTier best_tier() {
+  static const IsaTier tier = probe_best_tier();
+  return tier;
+}
+
+bool enabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    std::call_once(g_env_once, resolve_env);
+    state = g_enabled.load(std::memory_order_relaxed);
+    publish_tier_gauge();
+  }
+  return state == 1;
+}
+
+void set_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+  publish_tier_gauge();
+}
+
+IsaTier active_tier() {
+  return enabled() ? best_tier() : IsaTier::kBaseline;
+}
+
+const char* tier_name(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kAvx512:
+      return "avx512";
+    case IsaTier::kAvx2:
+      return "avx2";
+    case IsaTier::kBaseline:
+      return "baseline";
+  }
+  return "baseline";
+}
+
+namespace detail {
+
+const KernelTable& table() {
+  switch (active_tier()) {
+#if defined(IRF_SIMD_HAVE_AVX512)
+    case IsaTier::kAvx512:
+      return avx512_table();
+#endif
+#if defined(IRF_SIMD_HAVE_AVX2)
+    case IsaTier::kAvx2:
+      return avx2_table();
+#endif
+    default:
+      return baseline_table();
+  }
+}
+
+}  // namespace detail
+
+// Public wrappers: one indirect call per range, never per element.
+
+double dot(const double* a, const double* b, std::int64_t n) {
+  return detail::table().dot_f64(a, b, n);
+}
+void axpy(double alpha, const double* x, double* y, std::int64_t n) {
+  detail::table().axpy_f64(alpha, x, y, n);
+}
+void xpby(const double* x, double beta, double* y, std::int64_t n) {
+  detail::table().xpby_f64(x, beta, y, n);
+}
+void scale(double* a, double alpha, std::int64_t n) {
+  detail::table().scale_f64(a, alpha, n);
+}
+void subtract(const double* a, const double* b, double* out, std::int64_t n) {
+  detail::table().subtract_f64(a, b, out, n);
+}
+void jacobi_update(const double* r, const double* diag, double omega, double* x,
+                   std::int64_t n) {
+  detail::table().jacobi_f64(r, diag, omega, x, n);
+}
+void sell_spmv(const SellView<double>& m, const double* x, double* y,
+               int slice_begin, int slice_end) {
+  detail::table().spmv_f64(m, x, y, slice_begin, slice_end);
+}
+
+float dot(const float* a, const float* b, std::int64_t n) {
+  return detail::table().dot_f32(a, b, n);
+}
+void axpy(float alpha, const float* x, float* y, std::int64_t n) {
+  detail::table().axpy_f32(alpha, x, y, n);
+}
+void xpby(const float* x, float beta, float* y, std::int64_t n) {
+  detail::table().xpby_f32(x, beta, y, n);
+}
+void scale(float* a, float alpha, std::int64_t n) {
+  detail::table().scale_f32(a, alpha, n);
+}
+void subtract(const float* a, const float* b, float* out, std::int64_t n) {
+  detail::table().subtract_f32(a, b, out, n);
+}
+void jacobi_update(const float* r, const float* diag, float omega, float* x,
+                   std::int64_t n) {
+  detail::table().jacobi_f32(r, diag, omega, x, n);
+}
+void sell_spmv(const SellView<float>& m, const float* x, float* y,
+               int slice_begin, int slice_end) {
+  detail::table().spmv_f32(m, x, y, slice_begin, slice_end);
+}
+
+void widen(const float* in, double* out, std::int64_t n) {
+  detail::table().widen_f32(in, out, n);
+}
+void narrow(const double* in, float* out, std::int64_t n) {
+  detail::table().narrow_f64(in, out, n);
+}
+
+}  // namespace irf::simd

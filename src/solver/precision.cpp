@@ -1,0 +1,251 @@
+#include "solver/precision.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "par/par.hpp"
+#include "simd/simd.hpp"
+
+namespace irf::solver {
+
+using linalg::Vec;
+
+namespace {
+
+// Float analogues of the linalg vector helpers, chunked exactly like their
+// fp64 counterparts (same grains) so mixed-mode results are deterministic
+// for any IRF_THREADS value too.
+
+float fdot(const std::vector<float>& a, const std::vector<float>& b) {
+  return par::parallel_reduce(
+      0, static_cast<std::int64_t>(a.size()), par::kReduceGrain, 0.0f,
+      [&](std::int64_t lo, std::int64_t hi) {
+        return simd::dot(a.data() + lo, b.data() + lo, hi - lo);
+      },
+      [](float x, float y) { return x + y; });
+}
+
+float fnorm2(const std::vector<float>& a) { return std::sqrt(fdot(a, a)); }
+
+void faxpy(float alpha, const std::vector<float>& x, std::vector<float>& y) {
+  par::parallel_for(0, static_cast<std::int64_t>(x.size()), par::kVecGrain,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      simd::axpy(alpha, x.data() + lo, y.data() + lo, hi - lo);
+                    });
+}
+
+void fsubtract(const std::vector<float>& a, const std::vector<float>& b,
+               std::vector<float>& out) {
+  out.resize(a.size());
+  par::parallel_for(0, static_cast<std::int64_t>(a.size()), par::kVecGrain,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      simd::subtract(a.data() + lo, b.data() + lo, out.data() + lo,
+                                     hi - lo);
+                    });
+}
+
+void frestrict(const Aggregation& agg, const std::vector<float>& fine,
+               std::vector<float>& coarse) {
+  coarse.assign(static_cast<std::size_t>(agg.num_aggregates), 0.0f);
+  for (std::size_t i = 0; i < fine.size(); ++i) {
+    coarse[static_cast<std::size_t>(agg.aggregate_of[i])] += fine[i];
+  }
+}
+
+void fprolongate_add(const Aggregation& agg, const std::vector<float>& coarse,
+                     std::vector<float>& fine) {
+  for (std::size_t i = 0; i < fine.size(); ++i) {
+    fine[i] += coarse[static_cast<std::size_t>(agg.aggregate_of[i])];
+  }
+}
+
+}  // namespace
+
+Fp32Hierarchy::Fp32Hierarchy(const AmgHierarchy& source)
+    : source_(&source), options_(source.options()) {
+  levels_.reserve(static_cast<std::size_t>(source.num_levels()));
+  for (int i = 0; i < source.num_levels(); ++i) {
+    const AmgLevel& src = source.level(i);
+    const linalg::CsrMatrix& m = src.matrix;
+    Fp32Level level;
+    level.structure = &m;
+    level.to_coarse = src.to_coarse ? &*src.to_coarse : nullptr;
+    level.sell = simd::build_sell<float>(m.rows(), m.row_ptr().data(),
+                                         m.col_idx().data(), m.values().data());
+    level.values.resize(m.nnz());
+    simd::narrow(m.values().data(), level.values.data(),
+                 static_cast<std::int64_t>(m.nnz()));
+    const Vec& d = m.cached_diagonal();
+    level.diag.resize(d.size());
+    simd::narrow(d.data(), level.diag.data(), static_cast<std::int64_t>(d.size()));
+    levels_.push_back(std::move(level));
+  }
+  obs::count("solver.amg.fp32_mirrors_built");
+}
+
+std::size_t Fp32Hierarchy::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const Fp32Level& l : levels_) {
+    bytes += l.sell.memory_bytes();
+    bytes += l.values.capacity() * sizeof(float);
+    bytes += l.diag.capacity() * sizeof(float);
+  }
+  return bytes;
+}
+
+void Fp32Hierarchy::apply(const Vec& r, Vec& z) {
+  const std::size_t n = r.size();
+  if (n != static_cast<std::size_t>(levels_.front().structure->rows())) {
+    throw DimensionError("Fp32Hierarchy apply size mismatch");
+  }
+  FVec rf(n);
+  simd::narrow(r.data(), rf.data(), static_cast<std::int64_t>(n));
+  FVec zf;
+  cycle(0, rf, zf);
+  z.resize(n);
+  simd::widen(zf.data(), z.data(), static_cast<std::int64_t>(n));
+}
+
+void Fp32Hierarchy::spmv(const Fp32Level& level, const FVec& x, FVec& y) const {
+  const simd::SellView<float> view = level.sell.view();
+  y.resize(static_cast<std::size_t>(view.rows));
+  const float* xp = x.data();
+  float* yp = y.data();
+  par::parallel_for(0, view.num_slices, par::kRowGrain / simd::kLanes,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      simd::sell_spmv(view, xp, yp, static_cast<int>(lo),
+                                      static_cast<int>(hi));
+                    });
+}
+
+void Fp32Hierarchy::smooth(const Fp32Level& level, const FVec& r, FVec& z,
+                           int sweeps) const {
+  for (int s = 0; s < sweeps; ++s) {
+    if (options_.smoother == SmootherType::kJacobi) {
+      jacobi_sweep(level, r, z);
+    } else {
+      sgs_sweep(level, r, z, /*forward=*/true);
+      sgs_sweep(level, r, z, /*forward=*/false);
+    }
+  }
+}
+
+void Fp32Hierarchy::jacobi_sweep(const Fp32Level& level, const FVec& b,
+                                 FVec& x) const {
+  FVec ax;
+  spmv(level, x, ax);
+  FVec r;
+  fsubtract(b, ax, r);
+  const float omega = static_cast<float>(options_.jacobi_omega);
+  par::parallel_for(0, static_cast<std::int64_t>(x.size()), par::kRowGrain,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      simd::jacobi_update(r.data() + lo, level.diag.data() + lo, omega,
+                                          x.data() + lo, hi - lo);
+                    });
+}
+
+void Fp32Hierarchy::sgs_sweep(const Fp32Level& level, const FVec& b, FVec& x,
+                              bool forward) const {
+  const auto& rp = level.structure->row_ptr();
+  const auto& ci = level.structure->col_idx();
+  const auto& di = level.structure->diag_index();
+  const FVec& v = level.values;
+  const int n = level.structure->rows();
+  for (int step = 0; step < n; ++step) {
+    const int i = forward ? step : n - 1 - step;
+    const int dk = di[i];
+    if (dk < 0 || v[static_cast<std::size_t>(dk)] == 0.0f) {
+      throw NumericError("fp32 gauss-seidel: zero diagonal at row " + std::to_string(i));
+    }
+    float s = b[static_cast<std::size_t>(i)];
+    for (int k = rp[i]; k < dk; ++k) {
+      s -= v[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(ci[k])];
+    }
+    for (int k = dk + 1; k < rp[i + 1]; ++k) {
+      s -= v[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(ci[k])];
+    }
+    x[static_cast<std::size_t>(i)] = s / v[static_cast<std::size_t>(dk)];
+  }
+}
+
+void Fp32Hierarchy::cycle(int level, const FVec& r, FVec& z) const {
+  const Fp32Level& l = levels_[static_cast<std::size_t>(level)];
+  if (l.to_coarse == nullptr) {
+    // Coarsest level: reuse the source hierarchy's fp64 Cholesky factor —
+    // the system is tiny (<= coarsest_size), so the widen/narrow transfer
+    // costs nothing and the direct solve stays robust.
+    const std::size_t n = r.size();
+    Vec rd(n);
+    simd::widen(r.data(), rd.data(), static_cast<std::int64_t>(n));
+    const Vec zd = source_->coarse_solver().solve(rd);
+    z.resize(n);
+    simd::narrow(zd.data(), z.data(), static_cast<std::int64_t>(n));
+    return;
+  }
+  z.assign(r.size(), 0.0f);
+  smooth(l, r, z, options_.pre_smooth);
+
+  FVec az;
+  spmv(l, z, az);
+  FVec residual;
+  fsubtract(r, az, residual);
+  FVec rc;
+  frestrict(*l.to_coarse, residual, rc);
+  FVec ec;
+  coarse_correction(level + 1, rc, ec);
+  fprolongate_add(*l.to_coarse, ec, z);
+
+  smooth(l, r, z, options_.post_smooth);
+}
+
+void Fp32Hierarchy::coarse_correction(int coarse_level, const FVec& rc,
+                                      FVec& ec) const {
+  const bool coarsest =
+      levels_[static_cast<std::size_t>(coarse_level)].to_coarse == nullptr;
+  if (coarsest || options_.cycle == CycleType::kV) {
+    cycle(coarse_level, rc, ec);
+  } else {
+    kcycle_inner(coarse_level, rc, ec);
+  }
+}
+
+void Fp32Hierarchy::kcycle_inner(int level, const FVec& rc, FVec& ec) const {
+  // Float transcription of AmgHierarchy::kcycle_inner: two flexible-CG steps
+  // preconditioned by this level's cycle, with the same degenerate-step and
+  // early-exit guards.
+  const Fp32Level& l = levels_[static_cast<std::size_t>(level)];
+  ec.assign(rc.size(), 0.0f);
+
+  const FVec& r0 = rc;
+  FVec z0;
+  cycle(level, r0, z0);
+  FVec p = z0;
+  FVec ap;
+  spmv(l, p, ap);
+  const float pap = fdot(p, ap);
+  if (pap <= 0.0f || !std::isfinite(pap)) {
+    ec = z0;
+    return;
+  }
+  const float alpha = fdot(z0, r0) / pap;
+  faxpy(alpha, p, ec);
+  FVec r1 = r0;
+  faxpy(-alpha, ap, r1);
+
+  if (fnorm2(r1) < 0.25f * fnorm2(r0)) return;
+
+  FVec z1;
+  cycle(level, r1, z1);
+  const float beta = -fdot(z1, ap) / pap;
+  FVec p1 = z1;
+  faxpy(beta, p, p1);
+  FVec ap1;
+  spmv(l, p1, ap1);
+  const float p1ap1 = fdot(p1, ap1);
+  if (p1ap1 <= 0.0f || !std::isfinite(p1ap1)) return;
+  const float alpha1 = fdot(z1, r1) / p1ap1;
+  faxpy(alpha1, p1, ec);
+}
+
+}  // namespace irf::solver

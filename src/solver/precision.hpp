@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file precision.hpp
+/// Mixed-precision support for AMG-PCG: an fp32 mirror of a (frozen) fp64
+/// AMG hierarchy that implements Preconditioner.
+///
+/// The scheme is iterative refinement in Krylov form. The outer PCG
+/// iteration stays entirely in fp64 — residuals, search directions and the
+/// solution update are exact-precision — while each preconditioner
+/// application z ~= M^{-1} r narrows r to fp32, runs the whole AMG cycle
+/// (smoothing, restriction, K-cycle inner steps, coarse solve transfer) on
+/// fp32 operators, and widens the correction back. The preconditioner only
+/// steers convergence, so fp32 roundoff costs extra outer iterations, never
+/// final accuracy; the flexible (Polak-Ribiere) PCG beta absorbs the
+/// application-to-application rounding jitter exactly as it absorbs the
+/// K-cycle's variability. fp32 halves the bytes each cycle moves, and the
+/// cycle dominates AMG-PCG time — that is the speedup
+/// bench_kernel_roofline's mixed-precision bar measures.
+///
+/// The mirror holds its own float value/diagonal arrays plus SELL-C-sigma
+/// float layouts (simd::SellMatrix<float>) but borrows structure (row_ptr /
+/// col_idx / aggregation maps / the coarsest Cholesky factor) from the
+/// source hierarchy, which must outlive it. AmgPcgSolver builds one lazily
+/// on the first PrecisionMode::kMixed solve and drops it on
+/// update_matrix_values.
+
+#include <cstddef>
+#include <vector>
+
+#include "simd/sell.hpp"
+#include "solver/amg.hpp"
+#include "solver/preconditioner.hpp"
+
+namespace irf::solver {
+
+/// fp32 mirror of an AmgHierarchy, applied as a Preconditioner on fp64
+/// vectors (see file comment).
+class Fp32Hierarchy final : public Preconditioner {
+ public:
+  explicit Fp32Hierarchy(const AmgHierarchy& source);
+
+  /// z ~= A^{-1} r: narrow, run the fp32 cycle, widen.
+  void apply(const linalg::Vec& r, linalg::Vec& z) override;
+
+  /// fp32 narrowing varies the effective operator per application even for a
+  /// V-cycle, so the flexible PCG formula is always required.
+  bool is_variable() const override { return true; }
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+
+  /// Heap bytes retained by the float mirrors (the borrowed structure is
+  /// accounted by the source hierarchy).
+  std::size_t memory_bytes() const;
+
+ private:
+  using FVec = std::vector<float>;
+
+  struct Fp32Level {
+    const linalg::CsrMatrix* structure;  ///< borrowed row_ptr/col_idx/diag_index
+    const Aggregation* to_coarse;        ///< borrowed; null on the coarsest level
+    simd::SellMatrix<float> sell;        ///< SpMV layout, float payload
+    FVec values;                         ///< CSR-ordered float values (GS sweeps)
+    FVec diag;                           ///< float diagonal (Jacobi)
+  };
+
+  void spmv(const Fp32Level& level, const FVec& x, FVec& y) const;
+  void smooth(const Fp32Level& level, const FVec& r, FVec& z, int sweeps) const;
+  void sgs_sweep(const Fp32Level& level, const FVec& b, FVec& x, bool forward) const;
+  void jacobi_sweep(const Fp32Level& level, const FVec& b, FVec& x) const;
+  void cycle(int level, const FVec& r, FVec& z) const;
+  void coarse_correction(int coarse_level, const FVec& rc, FVec& ec) const;
+  void kcycle_inner(int level, const FVec& rc, FVec& ec) const;
+
+  const AmgHierarchy* source_;
+  AmgOptions options_;
+  std::vector<Fp32Level> levels_;
+};
+
+}  // namespace irf::solver
