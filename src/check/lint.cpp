@@ -4,102 +4,13 @@
 #include <cctype>
 #include <regex>
 
+#include "check/lexer.hpp"
+
 namespace irf::check::lint {
 
 namespace {
 
-/// Per-character classification of a translation unit.
-enum class Kind : unsigned char { kCode, kComment, kString };
-
-bool identifier_char_raw(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Single-pass lexer: classifies every byte as code, comment or string
-/// (handles //, /* */, "..." with escapes, '...', and R"delim(...)delim").
-/// Newlines always stay kCode so line structure survives any projection.
-std::vector<Kind> classify(const std::string& s) {
-  std::vector<Kind> kind(s.size(), Kind::kCode);
-  std::size_t i = 0;
-  const std::size_t n = s.size();
-  while (i < n) {
-    const char c = s[i];
-    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
-      while (i < n && s[i] != '\n') kind[i++] = Kind::kComment;
-    } else if (c == '/' && i + 1 < n && s[i + 1] == '*') {
-      kind[i] = kind[i + 1] = Kind::kComment;
-      i += 2;
-      while (i < n && !(s[i] == '*' && i + 1 < n && s[i + 1] == '/')) {
-        if (s[i] != '\n') kind[i] = Kind::kComment;
-        ++i;
-      }
-      if (i + 1 < n) kind[i] = kind[i + 1] = Kind::kComment;
-      i = std::min(n, i + 2);
-    } else if (c == 'R' && i + 1 < n && s[i + 1] == '"' &&
-               (i == 0 || (!std::isalnum(static_cast<unsigned char>(s[i - 1])) &&
-                           s[i - 1] != '_'))) {
-      // Raw string: R"delim( ... )delim"
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && s[j] != '(') delim += s[j++];
-      const std::string closer = ")" + delim + "\"";
-      std::size_t end = s.find(closer, j);
-      end = end == std::string::npos ? n : end + closer.size();
-      for (std::size_t k = i; k < end; ++k) {
-        if (s[k] != '\n') kind[k] = Kind::kString;
-      }
-      i = end;
-    } else if (c == '"' ||
-               (c == '\'' && (i == 0 || !identifier_char_raw(s[i - 1])))) {
-      // (a ' directly after an identifier/digit is a C++14 digit separator,
-      // not a character-literal open)
-      const char quote = c;
-      kind[i++] = Kind::kString;
-      while (i < n && s[i] != quote && s[i] != '\n') {
-        kind[i] = Kind::kString;
-        i += (s[i] == '\\' && i + 1 < n) ? 2 : 1;
-        if (i - 1 < n && s[i - 1] != '\n') kind[i - 1] = Kind::kString;
-      }
-      if (i < n && s[i] == quote) kind[i++] = Kind::kString;
-    } else {
-      ++i;
-    }
-  }
-  return kind;
-}
-
-/// Project `s` keeping only kCode bytes (others become spaces, newlines kept).
-std::string code_view(const std::string& s, const std::vector<Kind>& kind) {
-  std::string out = s;
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    if (kind[i] != Kind::kCode && s[i] != '\n') out[i] = ' ';
-  }
-  return out;
-}
-
-int line_of(const std::string& s, std::size_t pos) {
-  return 1 + static_cast<int>(std::count(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
-}
-
-bool line_has_allow(const std::string& raw, int line, const std::string& rule) {
-  if (line < 1) return false;
-  std::size_t start = 0;
-  for (int l = 1; l < line; ++l) {
-    start = raw.find('\n', start);
-    if (start == std::string::npos) return false;
-    ++start;
-  }
-  std::size_t end = raw.find('\n', start);
-  if (end == std::string::npos) end = raw.size();
-  const std::string text = raw.substr(start, end - start);
-  return text.find("irf-lint: allow(" + rule + ")") != std::string::npos;
-}
-
-/// A suppression comment covers its own line and, when it is the whole line,
-/// the line below (for sites too long to carry a trailing comment).
-bool line_allows(const std::string& raw, int line, const std::string& rule) {
-  return line_has_allow(raw, line, rule) || line_has_allow(raw, line - 1, rule);
-}
+using lex::Kind;
 
 bool is_header(const std::string& path) {
   return path.size() >= 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
@@ -168,8 +79,8 @@ std::string Issue::str() const {
 
 void Linter::add_file(const std::string& path, const std::string& content) {
   ++files_scanned_;
-  const std::vector<Kind> kinds = classify(content);
-  const std::string code = code_view(content, kinds);
+  const std::vector<Kind> kinds = lex::classify(content);
+  const std::string code = lex::code_view(content, kinds);
 
   // pragma-once: the first non-blank raw content of a header must be the
   // guard (doc comments above it are fine, code is not).
@@ -182,7 +93,7 @@ void Linter::add_file(const std::string& path, const std::string& content) {
     const bool guarded =
         pos + 12 <= code.size() && code.compare(pos, 12, "#pragma once") == 0;
     if (!guarded) {
-      issues_.push_back({path, pos < code.size() ? line_of(content, pos) : 1,
+      issues_.push_back({path, pos < code.size() ? lex::line_of(content, pos) : 1,
                          "pragma-once", "header does not start with #pragma once"});
     }
   }
@@ -191,8 +102,8 @@ void Linter::add_file(const std::string& path, const std::string& content) {
     auto begin = std::sregex_iterator(code.begin(), code.end(), rule.pattern);
     for (auto it = begin; it != std::sregex_iterator(); ++it) {
       const std::size_t pos = static_cast<std::size_t>(it->position(1));
-      const int line = line_of(content, pos);
-      if (line_allows(content, line, rule.name)) continue;
+      const int line = lex::line_of(content, pos);
+      if (lex::line_allows(content, line, rule.name)) continue;
       issues_.push_back({path, line, rule.name, rule.message});
     }
   }
@@ -226,8 +137,8 @@ void Linter::add_file(const std::string& path, const std::string& content) {
       const std::size_t name_end = content.find('"', name_begin);
       if (name_end == std::string::npos) continue;
       const std::string name = content.substr(name_begin, name_end - name_begin);
-      const int line = line_of(content, tok);
-      if (line_allows(content, line, "obs-name")) continue;
+      const int line = lex::line_of(content, tok);
+      if (lex::line_allows(content, line, "obs-name")) continue;
       if (!std::regex_match(name, name_grammar())) {
         issues_.push_back({path, line, "obs-name",
                            "instrument name \"" + name +

@@ -1,9 +1,9 @@
 #pragma once
 
 /// \file lint.hpp
-/// Table-driven project linter (the engine behind tools/irf_lint, run as a
-/// ctest so violations fail tier-1). Rules encode contracts the compiler
-/// cannot see:
+/// Table-driven token lint rules (the lint pass inside tools/analyze's
+/// irf_analyze, run as a ctest so violations fail tier-1). Rules encode
+/// contracts the compiler cannot see:
 ///
 ///   raw-new / raw-delete  — no manual allocation outside arenas/pools;
 ///                           smart pointers and containers own memory here
@@ -14,10 +14,13 @@
 ///                           registered-name grammar and each name is bound
 ///                           to exactly one instrument kind repo-wide
 ///
-/// A line can opt out of one rule with a `// irf-lint: allow(<rule>)` comment
+/// A line can opt out of one rule with an `// irf-analyze: allow(<rule>)`
+/// comment (legacy spelling `// irf-lint: allow(<rule>)` is still honoured)
 /// on the same line or the line directly above — grep-able, reviewed
-/// suppressions instead of silent blind spots. See docs/CORRECTNESS.md for
-/// how to add a rule.
+/// suppressions instead of silent blind spots. See docs/ANALYSIS.md for how
+/// to add a rule. The rules here are one pass of the `irf_analyze` semantic
+/// analyzer (tools/analyze), which also reuses the name registry collected
+/// below for its obs-name export.
 
 #include <string>
 #include <vector>
@@ -46,12 +49,17 @@ class Linter {
   const std::vector<Issue>& issues() const { return issues_; }
   int files_scanned() const { return files_scanned_; }
 
- private:
   struct NameUse {
     std::string kind;  // "counter", "gauge", "timer" (spans record as timers)
     std::string file;
     int line = 0;
   };
+
+  /// Every well-formed instrument name extracted so far, in insertion order
+  /// (one entry per call site). irf_analyze renders this as obs_names.json.
+  const std::vector<std::pair<std::string, NameUse>>& names() const { return names_; }
+
+ private:
   std::vector<Issue> issues_;
   std::vector<std::pair<std::string, NameUse>> names_;  // insertion order
   int files_scanned_ = 0;

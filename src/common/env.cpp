@@ -6,7 +6,6 @@
 #include "common/error.hpp"
 #include "common/parse.hpp"
 #include "common/string_util.hpp"
-#include "obs/obs.hpp"
 
 namespace irf {
 
@@ -26,7 +25,10 @@ ScaleConfig make_scale_config(Scale scale) {
 }
 
 ScaleConfig resolve_scale_from_env() {
-  obs::init_from_env();  // IRF_TRACE / IRF_METRICS / IRF_LOG_LEVEL
+  // NOTE: this used to call obs::init_from_env() as a side effect, which made
+  // common depend on obs — the one back-edge in the layering DAG. Telemetry
+  // env handling now belongs to the entry points (irf_cli and the bench
+  // harness both call it before resolving scale).
   Scale scale = Scale::kCi;
   if (const char* s = std::getenv("IRF_SCALE")) {
     std::string v = to_lower(trim(s));

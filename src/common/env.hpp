@@ -8,8 +8,10 @@
 ///
 /// Telemetry environment variables (IRF_TRACE, IRF_METRICS, IRF_LOG_LEVEL)
 /// are owned by the irf::obs subsystem — see obs/obs.hpp and
-/// docs/OBSERVABILITY.md. `resolve_scale_from_env()` applies them as a side
-/// effect so every scale-aware binary gets tracing/metrics for free.
+/// docs/OBSERVABILITY.md. Entry points apply them by calling
+/// obs::init_from_env() (or obs::enable_bench_metrics(), which implies it)
+/// BEFORE resolving scale; common sits below obs in the layering DAG
+/// (tools/analyze/layers.conf) and cannot do it for them.
 
 #include <cstdint>
 #include <string>

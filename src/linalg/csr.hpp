@@ -108,6 +108,8 @@ class CsrMatrix {
   // Lazily-built derived layouts (see class comment). The mutex orders
   // build/invalidate against concurrent const readers; parallel_for bodies
   // never touch it because callers snapshot the cache before fanning out.
+  // csr.cache_mu_ is the LEAF of the global lock order (engine.hpp declares
+  // the full chain): no code may acquire any other lock while holding it.
   mutable std::mutex cache_mu_;
   mutable std::unique_ptr<simd::SellMatrix<double>> sell_;
   mutable std::vector<int> diag_idx_;

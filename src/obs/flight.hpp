@@ -65,6 +65,10 @@ class FlightRecorder {
   const std::chrono::steady_clock::time_point epoch_;
   const double wall_anchor_unix_seconds_;
 
+  // flight.mutex_ is a standalone leaf in the global lock order: push() and
+  // the dump paths hold it only around ring bookkeeping and never call out,
+  // so serve::Engine may record under either of its locks without an
+  // ordering edge (irf_analyze's lock pass keeps this honest).
   mutable std::mutex mutex_;
   std::vector<FlightRecord> ring_;  ///< preallocated to capacity_
   std::size_t next_ = 0;            ///< ring write cursor

@@ -19,9 +19,11 @@
 ///                        per-iteration residual curve to solve spans when
 ///                        tracing is enabled (see trace.hpp)
 ///
-/// `init_from_env()` is idempotent and cheap after the first call; it is
-/// invoked from `irf::resolve_scale_from_env()` so benches and tools pick
-/// the contract up automatically, and lazily by the exporters below.
+/// `init_from_env()` is idempotent and cheap after the first call; entry
+/// points (irf_cli, the bench harness via enable_bench_metrics()) call it at
+/// startup, and the exporters below invoke it lazily. It deliberately does
+/// NOT run as a side effect of irf::resolve_scale_from_env(): common sits
+/// below obs in the layering DAG (tools/analyze/layers.conf).
 
 #include <iosfwd>
 #include <string>

@@ -203,6 +203,15 @@ class Pool {
     }
   }
 
+  // Global lock order for the pool (verified by irf_analyze, see
+  // docs/ANALYSIS.md). run() holds run_mutex_ across the whole job and takes
+  // config (via ensure_workers) then job inside it; stop/spawn take job under
+  // config. error_mutex_ is only ever taken from drain_chunks with run_mutex_
+  // (caller thread) or nothing (workers) held — the PR4 race fix depends on
+  // this order never inverting.
+  // irf-lock-order: par.run_mutex_ < par.config_mutex_ < par.job_mutex_
+  // irf-lock-order: par.run_mutex_ < par.error_mutex_
+
   // Configuration (guards the worker vector; never held during a job).
   std::mutex config_mutex_;
   int configured_ = 1;

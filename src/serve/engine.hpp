@@ -169,6 +169,13 @@ class Engine {
   EngineOptions options_;
   std::optional<core::IrFusionPipeline> pipeline_;
 
+  // Global lock order through the serve path (verified by irf_analyze, see
+  // docs/ANALYSIS.md). The queue mutex and the cache mutex are never held
+  // together today — the dispatcher releases mutex_ before touching the
+  // cache — but cache_mutex_ IS held across CacheEntry footprint accounting,
+  // which reaches the solver's fp32-mirror lock and the matrix's SELL-cache
+  // lock (csr.cache_mu_ is the global leaf).
+  // irf-lock-order: engine.mutex_ < engine.cache_mutex_ < amg_pcg.fp32_mu_ < csr.cache_mu_
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable space_cv_;

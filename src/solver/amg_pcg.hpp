@@ -72,7 +72,10 @@ class AmgPcgSolver {
   std::unique_ptr<AmgHierarchy> hierarchy_;
   double setup_seconds_ = 0.0;
   // The fp32 mirror is derived state: built on the first kMixed solve,
-  // dropped by update_matrix_values (rebind), rebuilt on demand.
+  // dropped by update_matrix_values (rebind), rebuilt on demand. Building the
+  // mirror under fp32_mu_ reads the matrix's cached diagonal/SELL layout, so
+  // the matrix cache lock nests inside this one — never the other way round.
+  // irf-lock-order: amg_pcg.fp32_mu_ < csr.cache_mu_
   mutable std::mutex fp32_mu_;
   mutable std::unique_ptr<Fp32Hierarchy> fp32_;
 };

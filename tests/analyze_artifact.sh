@@ -1,0 +1,45 @@
+#!/bin/sh
+# Run irf_analyze over the real tree and validate its machine-readable
+# artifacts: the findings report (--json, schema irf.analyze.v1) and the
+# obs-name registry (--obs-registry, schema irf.obs_names.v1). Both must be
+# parseable JSON per irf_cli json-check, and the registry must carry the
+# serve-path instruments the dashboards key on.
+# Usage: analyze_artifact.sh IRF_ANALYZE IRF_CLI REPO_ROOT WORKDIR
+set -e
+
+ANALYZE="$1"
+CLI="$2"
+ROOT="$3"
+WORK="$4"
+
+mkdir -p "$WORK"
+cd "$WORK"
+rm -f analyze_report.json obs_names.json
+
+# The analyzer may exit 1 if the tree has findings; the artifact contract is
+# about the files it leaves behind, and the `analyze` ctest owns cleanliness.
+"$ANALYZE" --relative-to "$ROOT" \
+  --layers "$ROOT/tools/analyze/layers.conf" \
+  --env-doc "$ROOT/docs/OBSERVABILITY.md" \
+  --baseline "$ROOT/tools/analyze/baseline.txt" \
+  --json analyze_report.json --obs-registry obs_names.json --quiet \
+  "$ROOT/src" "$ROOT/tools" "$ROOT/tests" || true
+
+test -s analyze_report.json || { echo "analyze_report.json missing or empty"; exit 1; }
+test -s obs_names.json || { echo "obs_names.json missing or empty"; exit 1; }
+
+"$CLI" json-check analyze_report.json
+"$CLI" json-check obs_names.json
+
+grep -F -q '"schema":"irf.analyze.v1"' analyze_report.json || {
+  echo "analyze_report.json lacks schema tag"; exit 1;
+}
+grep -F -q '"schema":"irf.obs_names.v1"' obs_names.json || {
+  echo "obs_names.json lacks schema tag"; exit 1;
+}
+for name in serve.requests serve.cache.hits; do
+  grep -F -q "\"name\":\"$name\"" obs_names.json || {
+    echo "obs_names.json lacks expected instrument: $name"; exit 1;
+  }
+done
+echo "ANALYZE_ARTIFACT_PASS"

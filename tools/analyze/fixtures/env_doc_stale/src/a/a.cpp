@@ -1,0 +1,3 @@
+#include <cstdlib>
+
+bool fixture_live() { return std::getenv("IRF_FIXTURE_LIVE") != nullptr; }

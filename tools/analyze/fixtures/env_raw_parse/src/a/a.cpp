@@ -1,0 +1,9 @@
+#include <cstdlib>
+
+// rule: env-raw-parse — atoi silently accepts "12abc" and overflows UB-style;
+// env values must go through the checked helpers in common/parse.hpp.
+int fixture_n() {
+  const char* s = std::getenv("IRF_FIXTURE_N");
+  if (s == nullptr) return 0;
+  return std::atoi(s);
+}

@@ -1,0 +1,6 @@
+#include <cstdlib>
+
+// rule: env-undocumented — IRF_FIXTURE_KNOB is not in ENV.md's table.
+bool fixture_knob() { return std::getenv("IRF_FIXTURE_KNOB") != nullptr; }
+
+bool documented_knob() { return std::getenv("IRF_FIXTURE_DOCUMENTED") != nullptr; }

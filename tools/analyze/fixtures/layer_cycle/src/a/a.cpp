@@ -1,0 +1,4 @@
+// rule: layer-cycle (with b/b.cpp).
+#include "b/b.hpp"
+
+int a_impl() { return 1; }

@@ -1,0 +1,4 @@
+// rule: layer-cycle (with a/a.cpp).
+#include "a/a.hpp"
+
+int b_impl() { return 2; }

@@ -1,0 +1,2 @@
+// rule: layer-table — this module is missing from layers.conf.
+int mystery() { return 3; }

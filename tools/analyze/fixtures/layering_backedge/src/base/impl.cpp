@@ -1,0 +1,4 @@
+// rule: layering — base must not reach up into top.
+#include "top/top.hpp"
+
+int base_impl() { return 1; }

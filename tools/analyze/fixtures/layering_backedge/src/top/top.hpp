@@ -1,0 +1,3 @@
+#pragma once
+
+inline int top_value() { return 2; }

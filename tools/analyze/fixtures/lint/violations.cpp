@@ -1,6 +1,6 @@
-// Seeded rule violations for the irf_lint self-test (irf_lint_fixture ctest).
-// Every block below MUST trip a rule; this file is never compiled or linted
-// in the normal pass (the lint_fixtures/ directory is skipped).
+// Seeded rule violations for the lint-pass self-test (analyze_fixture_lint
+// ctest). Every block below MUST trip a rule; this file is never compiled or
+// scanned in the normal pass (fixtures/ directories are skipped).
 
 #include <cstring>
 

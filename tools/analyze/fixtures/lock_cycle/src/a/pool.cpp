@@ -1,0 +1,27 @@
+// rule: lock-cycle — regression shape of the PR4 pool race: configure() took
+// config then job while the draining worker took job then config, and the two
+// paths could deadlock under a concurrent reconfigure. The analyzer must flag
+// the config_mutex_ <-> job_mutex_ cycle from the observed nesting alone.
+#include <mutex>
+
+struct Pool {
+  std::mutex config_mutex_;
+  std::mutex job_mutex_;
+  int width = 0;
+  int jobs = 0;
+
+  void configure(int n) {
+    std::lock_guard<std::mutex> cfg(config_mutex_);
+    width = n;
+    std::lock_guard<std::mutex> jobs_lock(job_mutex_);
+    jobs = 0;
+  }
+
+  void drain_and_resize() {
+    std::lock_guard<std::mutex> jobs_lock(job_mutex_);
+    if (jobs == 0) {
+      std::lock_guard<std::mutex> cfg(config_mutex_);
+      width = 1;
+    }
+  }
+};

@@ -1,0 +1,16 @@
+// rule: lock-order — the annotation declares first < second, the code below
+// acquires them in the opposite order.
+// irf-lock-order: a.first_mu_ < a.second_mu_
+#include <mutex>
+
+struct Thing {
+  std::mutex first_mu_;
+  std::mutex second_mu_;
+  int value = 0;
+
+  void backwards() {
+    std::lock_guard<std::mutex> second(second_mu_);
+    std::lock_guard<std::mutex> first(first_mu_);
+    ++value;
+  }
+};

@@ -1,0 +1,14 @@
+// rule: lock-unannotated — nested locking with no irf-lock-order declaration.
+#include <mutex>
+
+struct Thing {
+  std::mutex outer_mu_;
+  std::mutex inner_mu_;
+  int value = 0;
+
+  void poke() {
+    std::lock_guard<std::mutex> outer(outer_mu_);
+    std::lock_guard<std::mutex> inner(inner_mu_);
+    ++value;
+  }
+};

@@ -1,0 +1,5 @@
+namespace obs {
+void count(const char* name);
+}
+
+void tick() { obs::count("fixture.collide"); }

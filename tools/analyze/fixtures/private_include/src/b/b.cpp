@@ -1,0 +1,4 @@
+// rule: private-include — the dep a is allowed, this specific header is not.
+#include "a/impl.inc"
+
+int b_impl() { return 4; }

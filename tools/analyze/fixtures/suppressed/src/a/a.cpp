@@ -1,0 +1,26 @@
+#include <mutex>
+
+struct Arena {
+  std::mutex outer_mu_;
+  std::mutex inner_mu_;
+  int* slab = nullptr;
+  int used = 0;
+
+  void grow() {
+    // irf-analyze: allow(raw-new)
+    slab = new int[64];
+  }
+
+  void release() {
+    delete[] slab;  // irf-analyze: allow(raw-delete)
+    slab = nullptr;
+  }
+
+  void touch() {
+    // Baselined (see baseline.txt), not allow()-suppressed: exercises the
+    // rule|file|key match path.
+    std::lock_guard<std::mutex> outer(outer_mu_);
+    std::lock_guard<std::mutex> inner(inner_mu_);
+    ++used;
+  }
+};

@@ -1,0 +1,8 @@
+// The legacy irf-lint spelling must still suppress (compat contract).
+namespace obs {
+void count(const char* name);
+}
+
+void legacy() {
+  obs::count("Legacy-Name");  // irf-lint: allow(obs-name)
+}
