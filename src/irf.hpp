@@ -34,6 +34,7 @@
 #include "serve/api.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/engine.hpp"
+#include "serve/router.hpp"
 #include "train/dataset.hpp"
 
 namespace irf {
@@ -48,10 +49,15 @@ using serve::AnalysisResult;
 using serve::Engine;
 using serve::EngineOptions;
 using serve::EngineStats;
+using serve::Priority;
 using serve::ResultStatus;
+using serve::Router;
+using serve::RouterOptions;
+using serve::RouterStats;
 using serve::design_content_hash;
 using serve::is_checkpoint_file;
 using serve::load_checkpoint;
+using serve::priority_name;
 using serve::save_checkpoint;
 using serve::status_name;
 

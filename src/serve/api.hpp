@@ -8,6 +8,7 @@
 /// numerical-only fallback, or not at all (timeout / cancellation / error).
 /// These types are re-exported at the top level by the irf.hpp facade.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -25,10 +26,29 @@ enum class ResultStatus {
   kTimedOut,  ///< deadline expired before the engine finished the request
   kCancelled, ///< cancelled via Engine::cancel() or engine shutdown
   kFailed,    ///< hard error; see AnalysisResult::error
+  kShed,      ///< rejected by admission control (class quota, or evicted
+              ///< from a full queue by a higher-priority arrival)
 };
 
 /// Human-readable status label ("ok", "degraded", ...), for logs and JSON.
 const char* status_name(ResultStatus status);
+
+/// Request priority class for admission control (docs/API.md "Sharded
+/// serving"). Higher values matter more: when the queue is saturated an
+/// arriving request may shed a queued request of a strictly lower class
+/// (shed-lowest-first), and per-class quotas can cap how much of the queue
+/// one class may occupy. Priorities never reorder dispatch — the queue
+/// stays FIFO — they only decide who gets a queue slot under pressure.
+enum class Priority {
+  kBatch = 0,        ///< bulk/offline work; first to be shed
+  kNormal = 1,       ///< default class
+  kInteractive = 2,  ///< latency-sensitive; may displace lower classes
+};
+
+inline constexpr int kNumPriorities = 3;
+
+/// Human-readable priority label ("batch", "normal", "interactive").
+const char* priority_name(Priority priority);
 
 /// One unit of serving work. The design is shared ownership: the engine's
 /// per-design cache may keep it alive past the request (cached MNA/AMG
@@ -46,6 +66,12 @@ struct AnalysisRequest {
   /// Allow the rough numerical fallback when the model path is unavailable.
   /// When false, such requests fail instead of degrading.
   bool allow_degraded = true;
+
+  /// Admission-control class (see Priority). Under saturation a request of
+  /// a strictly higher class may shed the oldest queued request of the
+  /// lowest class present; per-class quotas (EngineOptions::priority_quotas)
+  /// reject at admission with kShed.
+  Priority priority = Priority::kNormal;
 };
 
 /// Per-stage wall-clock breakdown of one served request, measured by the
@@ -74,7 +100,20 @@ struct AnalysisResult {
   bool cache_hit = false;   ///< numerical+feature stage served from cache
   bool warm_start = false;  ///< incremental re-analysis: cached hierarchy +
                             ///< rough solution reused, only the delta recomputed
-  int batch_size = 0;       ///< NN-forward batch this request rode in
+
+  /// Completed-work-wins: the deadline expired after the last pre-inference
+  /// check, so the request finished (status kOk/kDegraded, map populated)
+  /// but later than asked. Deadlines are enforced at stage boundaries —
+  /// dequeue and pre-inference — and never discard a finished map; this
+  /// flag is the indication that the enforcement window was overrun
+  /// (docs/API.md "Deadlines").
+  bool deadline_exceeded = false;
+
+  /// Size of the dispatch batch this request was formed into. For
+  /// kOk/kDegraded it equals the NN-forward / degraded cohort; requests
+  /// that fail or time out inside the batch report the batch they rode in.
+  int batch_size = 0;
+  int shard = 0;                  ///< index of the engine shard that served it
   std::uint64_t design_hash = 0;  ///< content hash used as the cache key
   std::string design_name;
 
@@ -108,6 +147,13 @@ struct AnalysisResult {
 struct EngineOptions {
   int max_batch = 8;            ///< max requests fused into one NN forward
   int queue_capacity = 64;      ///< bounded work queue; submit blocks when full
+
+  /// Per-class queue quotas, indexed by Priority (0 = unlimited). A request
+  /// whose class already occupies its quota of queue slots is rejected at
+  /// admission: its future resolves immediately with kShed. Quotas bound
+  /// how much of a saturated queue bulk traffic may own; they are checked
+  /// before the shared-capacity backpressure.
+  std::array<int, kNumPriorities> priority_quotas{{0, 0, 0}};
   std::size_t cache_budget_bytes = std::size_t{256} << 20;  ///< per-design cache
   double default_timeout_seconds = 0.0;  ///< 0 = requests never expire
   bool allow_degraded = true;   ///< engine-wide master switch for the fallback
@@ -144,6 +190,12 @@ struct EngineOptions {
   /// check_error). Always on — recording is one short mutex hold and never
   /// influences results.
   int flight_recorder_capacity = 256;
+
+  /// Test hook: sleep this long between the pre-inference deadline check
+  /// and stage B, simulating a slow model forward. Pins the
+  /// completed-work-wins deadline policy (AnalysisResult::deadline_exceeded)
+  /// deterministically in tests; leave 0 in production.
+  double debug_batch_delay_seconds = 0.0;
 
   /// When non-empty, the engine (over)writes the flight-recorder JSON dump
   /// here every time a request degrades, misses its deadline, falls back

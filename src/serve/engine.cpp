@@ -37,6 +37,12 @@ void validate_options(const EngineOptions& options) {
   if (options.flight_recorder_capacity < 1) {
     throw ConfigError("serve: flight_recorder_capacity must be >= 1");
   }
+  for (int quota : options.priority_quotas) {
+    if (quota < 0) throw ConfigError("serve: priority quotas must be >= 0");
+  }
+  if (options.debug_batch_delay_seconds < 0.0) {
+    throw ConfigError("serve: debug_batch_delay_seconds must be >= 0");
+  }
 }
 
 double unix_seconds_now() {
@@ -46,17 +52,6 @@ double unix_seconds_now() {
 }
 
 }  // namespace
-
-struct Engine::Pending {
-  std::uint64_t id = 0;
-  AnalysisRequest request;
-  std::promise<AnalysisResult> promise;
-  Clock::time_point enqueued;
-  Clock::time_point deadline = Clock::time_point::max();
-  double submit_unix_seconds = 0.0;    ///< wall-clock anchor for the trace context
-  int queue_depth_at_admission = 0;    ///< queue size right after this push
-  bool cancelled = false;  ///< guarded by Engine::mutex_
-};
 
 struct Engine::CacheEntry {
   std::shared_ptr<const pg::PgDesign> design;
@@ -127,11 +122,12 @@ void Engine::start() {
   obs::count("serve.timeouts", 0);
   obs::count("serve.cancelled", 0);
   obs::count("serve.failures", 0);
+  obs::count("serve.shed", 0);
   obs::count("serve.flight_dumps", 0);
   dispatcher_ = std::thread([this] { run_dispatcher(); });
 }
 
-Engine::~Engine() {
+void Engine::stop_dispatcher() {
   {
     std::lock_guard<std::mutex> lk(mutex_);
     stop_ = true;
@@ -139,6 +135,10 @@ Engine::~Engine() {
   work_cv_.notify_all();
   space_cv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+Engine::~Engine() {
+  stop_dispatcher();
   // Anything still queued resolves as cancelled so waiters never hang.
   std::deque<std::shared_ptr<Pending>> leftover;
   {
@@ -146,14 +146,31 @@ Engine::~Engine() {
     leftover.swap(queue_);
   }
   for (const std::shared_ptr<Pending>& p : leftover) {
-    AnalysisResult r;
-    r.status = ResultStatus::kCancelled;
-    r.design_name = p->request.design ? p->request.design->name : "";
-    fulfil(*p, std::move(r));
+    fulfil_without_service(p, ResultStatus::kCancelled, nullptr);
   }
 }
 
+void Engine::fulfil_without_service(const std::shared_ptr<Pending>& pending,
+                                    ResultStatus status, const char* error) {
+  AnalysisResult r;
+  r.status = status;
+  if (error) r.error = error;
+  r.design_name = pending->request.design ? pending->request.design->name : "";
+  fulfil(*pending, std::move(r));
+}
+
 Engine::Ticket Engine::submit(AnalysisRequest request) {
+  // The blocking path always yields a ticket (it waits out backpressure
+  // instead of reporting it).
+  return *submit_impl(std::move(request), /*blocking=*/true);
+}
+
+std::optional<Engine::Ticket> Engine::try_submit(AnalysisRequest request) {
+  return submit_impl(std::move(request), /*blocking=*/false);
+}
+
+std::optional<Engine::Ticket> Engine::submit_impl(AnalysisRequest request,
+                                                  bool blocking) {
   if (!request.design) throw ConfigError("serve: request has no design");
   auto pending = std::make_shared<Pending>();
   pending->request = std::move(request);
@@ -169,30 +186,87 @@ Engine::Ticket Engine::submit(AnalysisRequest request) {
   }
   Ticket ticket;
   ticket.result = pending->promise.get_future();
+
+  const int cls = static_cast<int>(pending->request.priority);
+  std::shared_ptr<Pending> shed_victim;  // evicted by this (higher-class) arrival
+  bool quota_shed = false;               // this arrival rejected by its class quota
+  bool shutdown = false;
   {
+    // One lock acquisition covers the whole admission decision AND the
+    // enqueue: the non-blocking path can never be parked on space_cv_ by a
+    // producer that slipped in between a capacity check and the push.
     std::unique_lock<std::mutex> lk(mutex_);
-    space_cv_.wait(lk, [&] {
-      return stop_ || queue_.size() < static_cast<std::size_t>(options_.queue_capacity);
-    });
-    pending->id = next_id_++;
-    ticket.id = pending->id;
-    if (stop_) {
-      lk.unlock();
-      AnalysisResult r;
-      r.status = ResultStatus::kCancelled;
-      r.design_name = pending->request.design->name;
-      fulfil(*pending, std::move(r));
-      return ticket;
+    const auto queue_full = [&] {
+      return queue_.size() >= static_cast<std::size_t>(options_.queue_capacity);
+    };
+    const int quota = options_.priority_quotas[static_cast<std::size_t>(cls)];
+    if (!stop_ && quota > 0) {
+      int occupied = 0;
+      for (const std::shared_ptr<Pending>& p : queue_) {
+        if (static_cast<int>(p->request.priority) == cls) ++occupied;
+      }
+      quota_shed = occupied >= quota;
     }
-    queue_.push_back(pending);
-    pending->queue_depth_at_admission = static_cast<int>(queue_.size());
-    obs::set_gauge("serve.queue.depth", static_cast<double>(queue_.size()));
-  }
-  {
-    std::lock_guard<std::mutex> lk(cache_mutex_);
-    ++stats_.submitted;
+    if (!stop_ && !quota_shed && queue_full()) {
+      // Shed-lowest-first: a saturated queue admits a higher class by
+      // evicting the oldest queued request of the lowest class present —
+      // but only a class strictly below the arrival's. Equal-class traffic
+      // keeps the plain backpressure semantics.
+      auto victim = queue_.end();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if ((*it)->cancelled) continue;  // already resolving as cancelled
+        if (static_cast<int>((*it)->request.priority) >= cls) continue;
+        if (victim == queue_.end() ||
+            static_cast<int>((*it)->request.priority) <
+                static_cast<int>((*victim)->request.priority)) {
+          victim = it;
+        }
+      }
+      if (victim != queue_.end()) {
+        shed_victim = *victim;
+        queue_.erase(victim);
+      } else if (blocking) {
+        space_cv_.wait(lk, [&] { return stop_ || !queue_full(); });
+      } else {
+        return std::nullopt;
+      }
+    }
+    pending->id = next_id_;
+    next_id_ += id_step_;
+    ticket.id = pending->id;
+    shutdown = stop_;
+    // Count the submission before the request can possibly be fulfilled so
+    // completed <= submitted holds at every observation point — including
+    // the immediate shutdown/shed resolutions below. Taking cache_mutex_
+    // under mutex_ follows the declared engine lock order.
+    {
+      std::lock_guard<std::mutex> ck(cache_mutex_);
+      ++stats_.submitted;
+    }
+    if (!shutdown && !quota_shed) {
+      queue_.push_back(pending);
+      pending->queue_depth_at_admission = static_cast<int>(queue_.size());
+      obs::set_gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+    }
   }
   obs::count("serve.requests");
+  if (shed_victim) {
+    flight_.record("shed", shed_victim->id, static_cast<double>(cls),
+                   shed_victim->request.design->name);
+    fulfil_without_service(shed_victim, ResultStatus::kShed,
+                           "shed by a higher-priority arrival under saturation");
+  }
+  if (shutdown) {
+    fulfil_without_service(pending, ResultStatus::kCancelled, nullptr);
+    return ticket;
+  }
+  if (quota_shed) {
+    flight_.record("shed", pending->id, static_cast<double>(cls),
+                   pending->request.design->name);
+    fulfil_without_service(pending, ResultStatus::kShed,
+                           "class quota exhausted at admission");
+    return ticket;
+  }
   obs::record_histogram("serve.queue.depth_at_admission",
                         static_cast<double>(pending->queue_depth_at_admission));
   flight_.record("submit", pending->id,
@@ -202,15 +276,70 @@ Engine::Ticket Engine::submit(AnalysisRequest request) {
   return ticket;
 }
 
-std::optional<Engine::Ticket> Engine::try_submit(AnalysisRequest request) {
-  if (!request.design) throw ConfigError("serve: request has no design");
+void Engine::configure_shard(int shard_index, std::uint64_t first_id,
+                             std::uint64_t id_step) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  shard_index_ = shard_index;
+  next_id_ = first_id;
+  id_step_ = id_step;
+}
+
+void Engine::set_steal_source(std::function<void()> source) {
   {
     std::lock_guard<std::mutex> lk(mutex_);
-    if (stop_ || queue_.size() >= static_cast<std::size_t>(options_.queue_capacity)) {
-      return std::nullopt;
+    steal_source_ = std::move(source);
+  }
+  // Wake a dispatcher parked in the hookless wait so it re-evaluates and
+  // starts polling for steal opportunities.
+  work_cv_.notify_all();
+}
+
+void Engine::clear_steal_source() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  steal_source_ = nullptr;
+  hook_cv_.wait(lk, [&] { return !hook_running_; });
+}
+
+std::vector<std::shared_ptr<Engine::Pending>> Engine::take_pending(int max_n) {
+  std::vector<std::shared_ptr<Pending>> taken;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (stop_ || max_n <= 0) return taken;
+    const int n = std::min<int>(max_n, static_cast<int>(queue_.size()));
+    if (n == 0) return taken;
+    taken.assign(queue_.begin(), queue_.begin() + n);
+    queue_.erase(queue_.begin(), queue_.begin() + n);
+    obs::set_gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+  }
+  space_cv_.notify_all();
+  return taken;
+}
+
+void Engine::inject_pending(std::vector<std::shared_ptr<Pending>> items) {
+  if (items.empty()) return;
+  std::vector<std::shared_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (stop_) {
+      orphans = std::move(items);
+    } else {
+      // Stolen work is older than anything admitted locally: keep it at
+      // the head so cross-shard moves never reorder a request behind
+      // younger traffic. Capacity may be transiently exceeded — these
+      // requests were already admitted on their home shard.
+      for (auto it = items.rbegin(); it != items.rend(); ++it) {
+        queue_.push_front(std::move(*it));
+      }
+      obs::set_gauge("serve.queue.depth", static_cast<double>(queue_.size()));
     }
   }
-  return submit(std::move(request));
+  if (!orphans.empty()) {
+    for (const std::shared_ptr<Pending>& p : orphans) {
+      fulfil_without_service(p, ResultStatus::kCancelled, nullptr);
+    }
+    return;
+  }
+  work_cv_.notify_one();
 }
 
 AnalysisResult Engine::analyze(const pg::PgDesign& design) {
@@ -286,8 +415,34 @@ void Engine::run_dispatcher() {
     std::vector<std::shared_ptr<Pending>> batch;
     {
       std::unique_lock<std::mutex> lk(mutex_);
-      work_cv_.wait(lk, [&] { return stop_ || (!queue_.empty() && !paused_); });
-      if (stop_) return;
+      for (;;) {
+        if (stop_) return;
+        if (!paused_ && !queue_.empty()) break;
+        if (steal_source_ && !paused_ && queue_.empty()) {
+          // Idle shard under a Router: ask for work from a hotter sibling.
+          // The callback runs with our lock released (it re-enters through
+          // inject_pending); hook_running_ lets clear_steal_source() wait
+          // out an in-flight invocation. A short bounded backoff replaces
+          // the unbounded sleep while a source is installed.
+          std::function<void()> source = steal_source_;
+          hook_running_ = true;
+          lk.unlock();
+          source();
+          lk.lock();
+          hook_running_ = false;
+          hook_cv_.notify_all();
+          if (stop_) return;
+          if (!paused_ && !queue_.empty()) break;
+          work_cv_.wait_for(lk, steal_backoff_, [&] {
+            return stop_ || (!paused_ && !queue_.empty());
+          });
+        } else {
+          work_cv_.wait(lk, [&] {
+            return stop_ || (!paused_ && !queue_.empty()) ||
+                   (steal_source_ != nullptr && !paused_ && queue_.empty());
+          });
+        }
+      }
       const int take =
           std::min<int>(options_.max_batch, static_cast<int>(queue_.size()));
       batch.assign(queue_.begin(), queue_.begin() + take);
@@ -308,7 +463,18 @@ void Engine::fulfil(Pending& pending, AnalysisResult result) {
   result.submit_unix_seconds = pending.submit_unix_seconds;
   result.queue_depth_at_admission = pending.queue_depth_at_admission;
   const Clock::time_point now = Clock::now();
+  result.shard = shard_index_;
   result.stages.total_seconds = seconds_between(pending.enqueued, now);
+  // Completed-work-wins deadline policy: a deadline that expired after the
+  // last pre-inference check never discards the finished map, it only gets
+  // flagged (docs/API.md "Deadlines").
+  if (now > pending.deadline &&
+      (result.status == ResultStatus::kOk ||
+       result.status == ResultStatus::kDegraded)) {
+    result.deadline_exceeded = true;
+    flight_.record("deadline_exceeded", pending.id, result.stages.total_seconds,
+                   status_name(result.status));
+  }
   const double attributed =
       result.stages.queue_wait_seconds + result.stages.batch_form_seconds +
       result.stages.setup_seconds + result.stages.solve_seconds +
@@ -331,6 +497,7 @@ void Engine::fulfil(Pending& pending, AnalysisResult result) {
       case ResultStatus::kTimedOut: ++stats_.timeouts; break;
       case ResultStatus::kCancelled: ++stats_.cancelled; break;
       case ResultStatus::kFailed: ++stats_.failures; break;
+      case ResultStatus::kShed: ++stats_.shed; break;
     }
   }
   switch (result.status) {
@@ -339,6 +506,7 @@ void Engine::fulfil(Pending& pending, AnalysisResult result) {
     case ResultStatus::kTimedOut: obs::count("serve.timeouts"); break;
     case ResultStatus::kCancelled: obs::count("serve.cancelled"); break;
     case ResultStatus::kFailed: obs::count("serve.failures"); break;
+    case ResultStatus::kShed: obs::count("serve.shed"); break;
   }
   pending.promise.set_value(std::move(result));
 }
@@ -603,6 +771,10 @@ void Engine::process_batch(std::vector<std::shared_ptr<Pending>> batch) {
   for (std::shared_ptr<Pending>& p : batch) {
     AnalysisResult r;
     r.req_id = p->id;
+    // Every result reports the dispatch batch it rode in — failed and
+    // timed-out requests included; the ok/degraded paths overwrite this
+    // with their (possibly smaller) surviving cohort.
+    r.batch_size = static_cast<int>(batch.size());
     r.queue_seconds = seconds_between(p->enqueued, t0);
     r.stages.queue_wait_seconds = r.queue_seconds;
     r.design_name = p->request.design->name;
@@ -677,6 +849,13 @@ void Engine::process_batch(std::vector<std::shared_ptr<Pending>> batch) {
     alive.push_back(std::move(w));
   }
   if (alive.empty()) return;
+
+  if (options_.debug_batch_delay_seconds > 0.0) {
+    // Test hook: simulate a slow stage B after the last deadline check so
+    // the completed-work-wins policy is exercised deterministically.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.debug_batch_delay_seconds));
+  }
 
   // Stage B: one batched forward for every surviving request.
   bool model_ok = pipeline_.has_value();

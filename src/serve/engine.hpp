@@ -37,9 +37,11 @@
 /// degradation, deadline miss, warm fallback or CheckError
 /// (docs/OBSERVABILITY.md).
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -71,6 +73,7 @@ struct EngineStats {
   std::uint64_t timeouts = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t failures = 0;
+  std::uint64_t shed = 0;  ///< rejected by admission control (kShed)
   std::uint64_t batches = 0;
   std::size_t cache_bytes = 0;
   int cache_entries = 0;
@@ -143,10 +146,62 @@ class Engine {
   std::string dump_flight_recorder(const std::string& path = std::string()) const;
 
  private:
-  struct Pending;
+  friend class Router;  // shard wiring: id striding, steal donate/inject
+
+  using Clock = std::chrono::steady_clock;
+
+  /// One queued request. Shared between the queue, the dispatcher and — in
+  /// a sharded deployment — a stealing sibling engine, so the Router can
+  /// move a Pending between queues without re-submitting.
+  struct Pending {
+    std::uint64_t id = 0;
+    AnalysisRequest request;
+    std::promise<AnalysisResult> promise;
+    Clock::time_point enqueued;
+    Clock::time_point deadline = Clock::time_point::max();
+    double submit_unix_seconds = 0.0;  ///< wall-clock anchor for the trace context
+    int queue_depth_at_admission = 0;  ///< queue size right after this push
+    bool cancelled = false;  ///< guarded by the owning Engine's mutex_
+  };
+
   struct CacheEntry;
   void start();
   void run_dispatcher();
+  /// Shared enqueue path behind submit()/try_submit(): one mutex_
+  /// acquisition covering the admission decision AND the push, so the
+  /// non-blocking caller can never be parked on space_cv_ by a producer
+  /// that slipped in between a capacity check and the enqueue.
+  std::optional<Ticket> submit_impl(AnalysisRequest request, bool blocking);
+  /// Resolve an accepted-but-not-served request (admission shed, shutdown
+  /// cancel). Counts submitted+completed exactly once each.
+  void fulfil_without_service(const std::shared_ptr<Pending>& pending,
+                              ResultStatus status, const char* error);
+
+  // --- Router (sharding) hooks. All private: single-engine users never
+  // see them; the Router is a friend. -----------------------------------
+  /// Stride the ticket-id sequence so ids are unique across shards and
+  /// encode the admitting shard: shard i issues i+1, i+1+n, i+1+2n, ...
+  void configure_shard(int shard_index, std::uint64_t first_id, std::uint64_t id_step);
+  /// Install/remove the idle-steal callback. With a source installed the
+  /// dispatcher, on waking to an empty queue, invokes it (lock released)
+  /// to let the Router move pending work here from a hotter sibling; it
+  /// then polls on a short backoff instead of sleeping unboundedly.
+  void set_steal_source(std::function<void()> source);
+  /// Synchronize with any in-flight steal-source invocation and drop the
+  /// callback. After return the dispatcher will never call it again.
+  void clear_steal_source();
+  /// Detach up to max_n requests from the queue head (oldest first) for a
+  /// stealing sibling. Returns empty when stopped. Wakes space_cv_.
+  std::vector<std::shared_ptr<Pending>> take_pending(int max_n);
+  /// Push stolen requests at the queue head (they are older than anything
+  /// local). Capacity may be transiently exceeded — the work was already
+  /// admitted somewhere. On a stopped engine the requests resolve
+  /// kCancelled instead.
+  void inject_pending(std::vector<std::shared_ptr<Pending>> items);
+  /// Idempotent dispatcher shutdown (what the destructor does first). The
+  /// Router stops every shard's dispatcher before destroying any engine so
+  /// no steal callback can touch a dead sibling.
+  void stop_dispatcher();
   void process_batch(std::vector<std::shared_ptr<Pending>> batch);
   std::shared_ptr<CacheEntry> lookup_or_build(const AnalysisRequest& request,
                                               AnalysisResult& result);
@@ -170,11 +225,12 @@ class Engine {
   std::optional<core::IrFusionPipeline> pipeline_;
 
   // Global lock order through the serve path (verified by irf_analyze, see
-  // docs/ANALYSIS.md). The queue mutex and the cache mutex are never held
-  // together today — the dispatcher releases mutex_ before touching the
-  // cache — but cache_mutex_ IS held across CacheEntry footprint accounting,
-  // which reaches the solver's fp32-mirror lock and the matrix's SELL-cache
-  // lock (csr.cache_mu_ is the global leaf).
+  // docs/ANALYSIS.md). submit_impl counts the submission under cache_mutex_
+  // while still holding the queue mutex (so completed <= submitted holds at
+  // every observation point), and cache_mutex_ is held across CacheEntry
+  // footprint accounting, which reaches the solver's fp32-mirror lock and
+  // the matrix's SELL-cache lock (csr.cache_mu_ is the global leaf). Under
+  // a Router, router.mutex_ sits above engine.mutex_ (see router.cpp).
   // irf-lock-order: engine.mutex_ < engine.cache_mutex_ < amg_pcg.fp32_mu_ < csr.cache_mu_
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
@@ -183,6 +239,16 @@ class Engine {
   bool stop_ = false;
   bool paused_ = false;
   std::uint64_t next_id_ = 1;
+  std::uint64_t id_step_ = 1;  ///< ticket-id stride (num shards under a Router)
+  int shard_index_ = 0;        ///< stamped into AnalysisResult::shard
+
+  // Idle-steal integration (guarded by mutex_ except where noted). The
+  // callback itself runs with mutex_ released; hook_running_/hook_cv_ let
+  // clear_steal_source() wait out an in-flight invocation.
+  std::function<void()> steal_source_;
+  bool hook_running_ = false;
+  std::condition_variable hook_cv_;
+  std::chrono::milliseconds steal_backoff_{2};
 
   // Cache + stats are only mutated on the dispatcher thread but read from
   // callers; guarded by cache_mutex_.

@@ -1,0 +1,171 @@
+#pragma once
+
+/// \file router.hpp
+/// Sharded serving: N engine shards behind one submit surface.
+///
+/// A Router owns `num_shards` independent Engines — each with its own
+/// dispatcher thread, bounded queue and LRU cache — and routes every
+/// request by design hash, so all traffic for one design (and for every
+/// topology-identical variant of it) lands on the same shard. That keeps
+/// the per-design cache entries AND the warm-start candidate set
+/// shard-local: sharding never splits a design's amortizable state, it
+/// only partitions the population's working set across shards.
+///
+/// On top of plain routing the Router adds:
+///
+///  * admission control — per-request Priority classes with per-class
+///    queue quotas and shed-lowest-first on saturation (mechanism lives in
+///    Engine::submit_impl; the Router configures and aggregates it);
+///  * batch coalescing across shards — a shard that wakes to an empty
+///    queue steals up to a batch-worth of pending work from the hottest
+///    sibling (`router.mutex_ < engine.mutex_` lock order, verified by
+///    irf_analyze). Stolen requests keep their tickets, deadlines and
+///    cancellation flags; results are bit-identical to unstolen execution
+///    (tests/test_serve.cpp pins it);
+///  * aggregated observability — Engine-compatible stats() plus a
+///    per-shard breakdown, `serve.shard.s<i>.*` gauges and
+///    `serve.router.*` counters (docs/OBSERVABILITY.md).
+///
+/// The Router exposes the same submit/try_submit/analyze/stats/queue_depth
+/// surface as Engine, so callers scale from one engine to N shards by
+/// swapping the type. Ticket ids stay globally unique (shard i issues
+/// i+1, i+1+N, ...), and cancel() finds a request wherever stealing may
+/// have moved it.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace irf::serve {
+
+/// Router construction knobs. `engine` is applied to every shard as-is
+/// (cache budgets and queue capacities are PER SHARD; a non-empty
+/// flight_dump_path gets a ".s<i>" suffix per shard so dumps never
+/// clobber each other).
+struct RouterOptions {
+  int num_shards = 2;
+  EngineOptions engine;
+
+  /// Work stealing: an idle shard pulls up to max_batch pending requests
+  /// from the hottest sibling instead of sleeping. Affinity is a cache
+  /// optimization, not a correctness requirement, so moving queued work to
+  /// an idle dispatcher is always safe — just potentially a cache miss.
+  bool enable_stealing = true;
+
+  /// Only steal when the hottest sibling has at least this many queued
+  /// requests; below that the victim's own dispatcher is about to drain
+  /// them anyway and the move would only forfeit cache affinity.
+  int steal_min_depth = 2;
+};
+
+/// Aggregated engine counters plus the per-shard breakdown and the
+/// router's own steal bookkeeping. Note that stealing moves a request's
+/// completion to the thief shard: per-shard `completed` can exceed
+/// per-shard `submitted`, while every aggregate invariant
+/// (total.completed <= total.submitted, sums matching) still holds.
+struct RouterStats {
+  EngineStats total;
+  std::vector<EngineStats> shards;
+  std::uint64_t steals = 0;            ///< steal operations that moved work
+  std::uint64_t stolen_requests = 0;   ///< requests moved across shards
+};
+
+class Router {
+ public:
+  /// Shard a fitted pipeline: the model state is cloned into every shard
+  /// (bit-identical weights, so any shard serves any request identically).
+  explicit Router(core::IrFusionPipeline pipeline, RouterOptions options = {});
+
+  /// Model-less router: every shard answers with the rough numerical map
+  /// in degraded mode (or fails when degradation is disallowed).
+  explicit Router(RouterOptions options = {});
+
+  /// Load a checkpoint once and clone it across shards. A missing file
+  /// degrades gracefully when options.engine.allow_degraded is set; an
+  /// unreadable or corrupt file always throws (same contract as
+  /// Engine::from_checkpoint).
+  static std::unique_ptr<Router> from_checkpoint(const std::string& path,
+                                                 RouterOptions options = {});
+
+  /// Stops every shard's dispatcher before destroying any engine — the
+  /// join is what guarantees no steal callback can touch a dead sibling.
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Route by design hash and enqueue on the owning shard. Same contract
+  /// as Engine::submit (blocks on that shard's backpressure; admission
+  /// control may resolve the ticket immediately as kShed).
+  Engine::Ticket submit(AnalysisRequest request);
+
+  /// Non-blocking submit: nullopt when the owning shard's queue is full.
+  std::optional<Engine::Ticket> try_submit(AnalysisRequest request);
+
+  /// Synchronous convenience: copies the design, submits, waits.
+  AnalysisResult analyze(const pg::PgDesign& design);
+
+  /// Cancel by ticket id. Checks the admitting shard first, then every
+  /// sibling — stealing may have moved the request.
+  bool cancel(std::uint64_t id);
+
+  /// Pause/resume dispatch on every shard.
+  void pause();
+  void resume();
+
+  /// Engine-compatible aggregated counters (also refreshes the
+  /// serve.shard.* gauges and the serve.router.shed counter).
+  EngineStats stats() const;
+
+  /// Aggregate + per-shard breakdown + steal counters.
+  RouterStats router_stats() const;
+
+  /// Total queued requests across shards.
+  int queue_depth() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// The shard index a design routes to. Exposed so tests and tools can
+  /// pin affinity; stable for the Router's lifetime.
+  int shard_for(const pg::PgDesign& design) const;
+
+  /// Direct access to one shard (tests, per-shard flight dumps).
+  Engine& shard(int index);
+  const Engine& shard(int index) const;
+
+  bool has_model() const;
+  void clear_cache();
+
+ private:
+  void wire_shards();
+  EngineOptions shard_options(int index) const;
+  /// Steal callback for shard `thief`: runs on that shard's dispatcher
+  /// thread with no engine lock held.
+  void steal_for(int thief);
+
+  RouterOptions options_;
+
+  // Steal serialization + router counters. Held while probing sibling
+  // queue depths and moving work, i.e. above the engines' queue locks.
+  // irf-lock-order: router.mutex_ < engine.mutex_
+  mutable std::mutex mutex_;
+  std::uint64_t steals_ = 0;
+  std::uint64_t stolen_requests_ = 0;
+  /// serve.router.shed is emitted as a delta against the last aggregate
+  /// observation (counters are monotonic; sheds happen inside shards).
+  mutable std::uint64_t shed_reported_ = 0;
+
+  std::vector<std::string> shard_queue_gauges_;  ///< serve.shard.s<i>.queue.depth
+  std::vector<std::string> shard_cache_gauges_;  ///< serve.shard.s<i>.cache.bytes
+
+  // Destroyed first (reverse member order): every engine joins its
+  // dispatcher inside ~Router before the fields above go away.
+  std::vector<std::unique_ptr<Engine>> shards_;
+};
+
+}  // namespace irf::serve

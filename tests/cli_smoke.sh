@@ -14,6 +14,8 @@ mkdir -p "$WORK"
 
 echo "== help (generated from the flag tables) =="
 "$CLI" --help | grep -q serve-batch
+"$CLI" --help | grep -q serve-load
+"$CLI" serve-load --help | grep -q -- '--shards'
 "$CLI" solve --help | grep -q -- '--rough-iters'
 "$CLI" solve --help | grep -q 'deprecated alias: --iters'
 "$CLI" train --help | grep -q -- '--save-model'
@@ -120,6 +122,17 @@ grep -q 'irf_serve_request_seconds' "$WORK/serve.prom"
 if "$CLI" serve-batch --designs "$WORK/designs" --prom-every-seconds 0.05; then
   echo "--prom-every-seconds without --prom-out must fail"; exit 1
 fi
+
+echo "== serve-load (sharded router, open-loop) =="
+"$CLI" serve-load --load-model "$WORK/model.bin" --designs "$WORK/designs" \
+  --shards 2 --requests 16 --rate 50 --seed 7 \
+  --metrics-out "$WORK/load_metrics.json"
+test -s "$WORK/load_metrics.json"
+"$CLI" json-check "$WORK/load_metrics.json"
+grep -q '"serve.router.requests"' "$WORK/load_metrics.json"
+grep -q '"serve.shard.s0.queue.depth"' "$WORK/load_metrics.json"
+# Model-less serve-load degrades instead of failing, like serve-batch.
+"$CLI" serve-load --designs "$WORK/designs" --shards 2 --requests 8
 
 echo "== error handling =="
 if "$CLI" bogus-subcommand; then echo "unknown subcommand must fail"; exit 1; fi

@@ -11,9 +11,11 @@
 #include <memory>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <limits>
 #include <sstream>
 #include <thread>
@@ -771,6 +773,366 @@ TEST(EngineCheckpoint, MissingFileDegradesOrThrows) {
   EngineOptions strict;
   strict.allow_degraded = false;
   EXPECT_THROW(Engine::from_checkpoint("/nonexistent/model.irf", strict), Error);
+}
+
+// --- submit-path regressions (admission, stats accounting, deadlines) ------
+
+TEST(EngineAdmission, RejectsBadPriorityOptions) {
+  EngineOptions opts;
+  opts.priority_quotas[0] = -1;
+  EXPECT_THROW(Engine{opts}, ConfigError);
+  opts = EngineOptions{};
+  opts.debug_batch_delay_seconds = -0.1;
+  EXPECT_THROW(Engine{opts}, ConfigError);
+}
+
+TEST(EngineAdmission, TrySubmitNeverBlocksUnderContention) {
+  // Regression: try_submit used to check capacity under the lock, drop it,
+  // and delegate to submit() — a racing producer could take the last slot
+  // in the gap and leave try_submit blocked on space forever. Admission is
+  // now decided inside one critical section: with a full, paused queue,
+  // every concurrent try_submit must come back promptly, and exactly the
+  // queue's capacity may succeed.
+  Rng rng(41);
+  auto design = std::make_shared<pg::PgDesign>(
+      pg::generate_fake_design(32, rng, "toctou"));
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.queue_capacity = 1;
+  Engine engine(opts);
+
+  constexpr int kProducers = 8;
+  std::vector<std::future<bool>> producers;
+  for (int i = 0; i < kProducers; ++i) {
+    producers.push_back(std::async(std::launch::async, [&engine, design] {
+      AnalysisRequest request;
+      request.design = design;
+      return engine.try_submit(std::move(request)).has_value();
+    }));
+  }
+  int admitted = 0;
+  for (std::future<bool>& f : producers) {
+    // A blocked try_submit shows up as a timeout here instead of hanging
+    // the whole suite.
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(10)), std::future_status::ready)
+        << "try_submit blocked";
+    admitted += f.get() ? 1 : 0;
+  }
+  EXPECT_EQ(admitted, 1);
+  EXPECT_EQ(engine.queue_depth(), 1);
+  engine.resume();  // drain the one admitted request through the dtor
+}
+
+TEST(EngineAdmission, ShedsLowestPriorityFirstUnderSaturation) {
+  Rng rng(42);
+  auto design = std::make_shared<pg::PgDesign>(
+      pg::generate_fake_design(32, rng, "shed"));
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.queue_capacity = 2;
+  Engine engine(opts);
+
+  const auto submit_with = [&](Priority p) {
+    AnalysisRequest request;
+    request.design = design;
+    request.priority = p;
+    return engine.submit(std::move(request));
+  };
+  Engine::Ticket batch_t = submit_with(Priority::kBatch);
+  Engine::Ticket normal_t = submit_with(Priority::kNormal);
+  EXPECT_EQ(engine.queue_depth(), 2);
+
+  // A saturated queue sheds the oldest request of the LOWEST class that is
+  // strictly below the arrival — first the batch request, then the normal.
+  Engine::Ticket first_i = submit_with(Priority::kInteractive);
+  AnalysisResult shed_batch = batch_t.result.get();
+  EXPECT_EQ(shed_batch.status, ResultStatus::kShed);
+  EXPECT_FALSE(shed_batch.has_map());
+  Engine::Ticket second_i = submit_with(Priority::kInteractive);
+  EXPECT_EQ(normal_t.result.get().status, ResultStatus::kShed);
+
+  // With only interactive work queued, an equal-or-lower arrival has no
+  // victim: plain backpressure applies, exactly as before priorities.
+  AnalysisRequest request;
+  request.design = design;
+  request.priority = Priority::kNormal;
+  EXPECT_FALSE(engine.try_submit(std::move(request)).has_value());
+
+  engine.resume();
+  EXPECT_EQ(first_i.result.get().status, ResultStatus::kDegraded);
+  EXPECT_EQ(second_i.result.get().status, ResultStatus::kDegraded);
+
+  // Shed results are terminal results: counted as completed exactly once,
+  // and the submit that got shed still counts as submitted (the old
+  // shutdown-path bug let completed overtake submitted).
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.submitted, 4u);
+  EXPECT_EQ(s.shed, 2u);
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_LE(s.completed, s.submitted);
+  EXPECT_EQ(s.served_ok + s.degraded + s.timeouts + s.cancelled + s.failures +
+                s.shed,
+            s.completed);
+}
+
+TEST(EngineAdmission, ClassQuotaRejectsAtAdmission) {
+  Rng rng(43);
+  auto design = std::make_shared<pg::PgDesign>(
+      pg::generate_fake_design(32, rng, "quota"));
+  EngineOptions opts;
+  opts.start_paused = true;
+  opts.queue_capacity = 8;
+  opts.priority_quotas[static_cast<int>(Priority::kInteractive)] = 1;
+  Engine engine(opts);
+
+  AnalysisRequest request;
+  request.design = design;
+  request.priority = Priority::kInteractive;
+  Engine::Ticket admitted = engine.submit(request);
+  // Quota exhausted: both submit flavours resolve the ticket as kShed
+  // immediately instead of blocking or stealing shared capacity.
+  AnalysisResult over = engine.submit(request).result.get();
+  EXPECT_EQ(over.status, ResultStatus::kShed);
+  EXPECT_NE(over.error.find("quota"), std::string::npos);
+  std::optional<Engine::Ticket> try_over = engine.try_submit(request);
+  ASSERT_TRUE(try_over.has_value());
+  EXPECT_EQ(try_over->result.get().status, ResultStatus::kShed);
+
+  engine.resume();
+  EXPECT_EQ(admitted.result.get().status, ResultStatus::kDegraded);
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.submitted, 3u);  // quota rejections still count as submitted
+  EXPECT_EQ(s.shed, 2u);
+  EXPECT_LE(s.completed, s.submitted);
+}
+
+TEST(EngineStats, TimedOutResultCarriesDispatchBatchSize) {
+  // Regression: a timed-out request used to leave batch_size at 0; every
+  // terminal result now reports the dispatch batch it rode in.
+  Rng rng(44);
+  auto design = std::make_shared<pg::PgDesign>(
+      pg::generate_fake_design(32, rng, "batchsize"));
+  EngineOptions opts;
+  opts.start_paused = true;
+  Engine engine(opts);
+  AnalysisRequest normal;
+  normal.design = design;
+  Engine::Ticket served = engine.submit(std::move(normal));
+  AnalysisRequest doomed;
+  doomed.design = design;
+  doomed.timeout_seconds = 0.01;
+  Engine::Ticket timed_out = engine.submit(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  engine.resume();
+
+  AnalysisResult late = timed_out.result.get();
+  ASSERT_EQ(late.status, ResultStatus::kTimedOut);
+  EXPECT_EQ(late.batch_size, 2);
+  AnalysisResult ok = served.result.get();
+  ASSERT_EQ(ok.status, ResultStatus::kDegraded);
+  EXPECT_EQ(ok.batch_size, 1);  // surviving cohort after the timeout
+}
+
+TEST(EngineDeadline, CompletedWorkWinsAfterLastDeadlineCheck) {
+  // A deadline that expires after the final pre-inference check does NOT
+  // discard the finished map — the result is served with deadline_exceeded
+  // set (docs/API.md "Deadlines"). debug_batch_delay_seconds makes the
+  // "expired inside stage B" window deterministic.
+  Rng rng(45);
+  auto design = std::make_shared<pg::PgDesign>(
+      pg::generate_fake_design(32, rng, "overrun"));
+  EngineOptions opts;
+  opts.fallback_image_size = 32;
+  opts.fallback_rough_iterations = 2;
+  opts.debug_batch_delay_seconds = 0.4;
+  Engine engine(opts);
+
+  AnalysisRequest request;
+  request.design = design;
+  request.timeout_seconds = 0.2;
+  AnalysisResult r = engine.submit(std::move(request)).result.get();
+  EXPECT_EQ(r.status, ResultStatus::kDegraded);  // served, not kTimedOut
+  EXPECT_TRUE(r.has_map());
+  EXPECT_TRUE(r.deadline_exceeded);
+
+  AnalysisRequest relaxed;
+  relaxed.design = design;
+  AnalysisResult r2 = engine.submit(std::move(relaxed)).result.get();
+  EXPECT_EQ(r2.status, ResultStatus::kDegraded);
+  EXPECT_FALSE(r2.deadline_exceeded);
+}
+
+// --- router: sharded serving ------------------------------------------------
+
+/// Distinct-topology designs (random blockages perturb the grid), so the
+/// router actually spreads them: fake designs of one size all share a
+/// topology hash and would collapse onto a single shard.
+std::vector<std::shared_ptr<pg::PgDesign>> distinct_topology_designs(int n) {
+  std::vector<std::shared_ptr<pg::PgDesign>> designs;
+  std::vector<std::uint64_t> seen;
+  for (int seed = 0; static_cast<int>(designs.size()) < n && seed < 200; ++seed) {
+    Rng rng(500 + seed);
+    auto d = std::make_shared<pg::PgDesign>(
+        pg::generate_real_design(32, rng, "router_" + std::to_string(seed)));
+    const std::uint64_t h = design_topology_hash(*d);
+    if (std::find(seen.begin(), seen.end(), h) != seen.end()) continue;
+    seen.push_back(h);
+    designs.push_back(std::move(d));
+  }
+  return designs;
+}
+
+TEST(RouterValidation, RejectsBadOptions) {
+  RouterOptions opts;
+  opts.num_shards = 0;
+  EXPECT_THROW(Router{opts}, ConfigError);
+  opts = RouterOptions{};
+  opts.steal_min_depth = 0;
+  EXPECT_THROW(Router{opts}, ConfigError);
+}
+
+TEST_F(ServeFixture, RouterShardAffinityAndBitIdentity) {
+  RouterOptions ropts;
+  ropts.num_shards = 2;
+  ropts.engine.enable_warm_start = false;
+  auto router = Router::from_checkpoint(*checkpoint_path_, ropts);
+  ASSERT_TRUE(router->has_model());
+  EXPECT_EQ(router->num_shards(), 2);
+
+  EngineOptions eopts;
+  eopts.enable_warm_start = false;
+  auto reference = Engine::from_checkpoint(*checkpoint_path_, eopts);
+
+  const auto designs = distinct_topology_designs(4);
+  ASSERT_GE(designs.size(), 2u);
+  for (const auto& d : designs) {
+    const int expected_shard = router->shard_for(*d);
+    AnalysisResult first = router->analyze(*d);
+    ASSERT_TRUE(first.ok()) << first.error;
+    EXPECT_EQ(first.shard, expected_shard);
+    // Re-submission sticks to the same shard and hits its LRU entry.
+    AnalysisResult again = router->analyze(*d);
+    EXPECT_EQ(again.shard, expected_shard);
+    EXPECT_TRUE(again.cache_hit);
+    // Any shard serves bit-identically to a standalone engine: the clones
+    // carry the same weights.
+    AnalysisResult direct = reference->analyze(*d);
+    EXPECT_EQ(first.ir_drop.data(), direct.ir_drop.data());
+  }
+  // Ticket ids stay globally unique across shards (strided per shard).
+  const RouterStats rs = router->router_stats();
+  EXPECT_EQ(rs.total.submitted, 2u * designs.size());
+  EXPECT_GE(rs.total.cache_hits, designs.size());
+}
+
+TEST_F(ServeFixture, RouterStealsFromSaturatedSiblingBitIdentically) {
+  RouterOptions ropts;
+  ropts.num_shards = 2;
+  ropts.engine.enable_warm_start = false;
+  ropts.steal_min_depth = 2;
+  auto router = Router::from_checkpoint(*checkpoint_path_, ropts);
+
+  const auto designs = distinct_topology_designs(4);
+  ASSERT_GE(designs.size(), 1u);
+  const auto& design = designs.front();
+  const int owner = router->shard_for(*design);
+  const int thief = 1 - owner;
+
+  EngineOptions eopts;
+  eopts.enable_warm_start = false;
+  auto reference = Engine::from_checkpoint(*checkpoint_path_, eopts);
+  const GridF expected = reference->analyze(*design).ir_drop;
+
+  // Freeze the owning shard so its queue backs up; the idle sibling must
+  // steal the backlog and serve it — bit-identically, since every shard
+  // holds the same weights.
+  router->shard(owner).pause();
+  std::vector<Engine::Ticket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    AnalysisRequest request;
+    request.design = design;
+    tickets.push_back(router->submit(std::move(request)));
+  }
+  for (Engine::Ticket& t : tickets) {
+    AnalysisResult r = t.result.get();
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.shard, thief);  // the owner never ran
+    EXPECT_EQ(r.ir_drop.data(), expected.data());
+  }
+  router->shard(owner).resume();
+
+  const RouterStats rs = router->router_stats();
+  EXPECT_GE(rs.steals, 1u);
+  EXPECT_EQ(rs.stolen_requests, 6u);
+  // Per-shard asymmetry is expected (the owner admitted, the thief
+  // completed); the aggregate invariant must still hold.
+  EXPECT_EQ(rs.shards[static_cast<std::size_t>(owner)].submitted, 6u);
+  EXPECT_GE(rs.shards[static_cast<std::size_t>(thief)].completed, 6u);
+  EXPECT_LE(rs.total.completed, rs.total.submitted);
+}
+
+TEST(RouterStats, AggregateMatchesPerShardBreakdown) {
+  RouterOptions ropts;
+  ropts.num_shards = 2;
+  ropts.enable_stealing = false;  // keep per-shard attribution exact
+  Router router(ropts);  // model-less: every request degrades, cheaply
+
+  const auto designs = distinct_topology_designs(4);
+  std::vector<Engine::Ticket> tickets;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& d : designs) {
+      AnalysisRequest request;
+      request.design = d;
+      tickets.push_back(router.submit(std::move(request)));
+    }
+  }
+  std::vector<std::uint64_t> ids;
+  for (Engine::Ticket& t : tickets) {
+    EXPECT_EQ(t.result.get().status, ResultStatus::kDegraded);
+    ids.push_back(t.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+      << "ticket ids must be globally unique across shards";
+
+  const RouterStats rs = router.router_stats();
+  ASSERT_EQ(rs.shards.size(), 2u);
+  EngineStats sum;
+  for (const EngineStats& s : rs.shards) {
+    sum.submitted += s.submitted;
+    sum.completed += s.completed;
+    sum.degraded += s.degraded;
+    sum.cache_hits += s.cache_hits;
+    sum.cache_misses += s.cache_misses;
+  }
+  EXPECT_EQ(rs.total.submitted, sum.submitted);
+  EXPECT_EQ(rs.total.completed, sum.completed);
+  EXPECT_EQ(rs.total.degraded, sum.degraded);
+  EXPECT_EQ(rs.total.cache_hits, sum.cache_hits);
+  EXPECT_EQ(rs.total.cache_misses, sum.cache_misses);
+  EXPECT_EQ(rs.total.submitted, tickets.size());
+  EXPECT_EQ(rs.total.completed, tickets.size());
+  EXPECT_LE(rs.total.completed, rs.total.submitted);
+  // The plain stats() view is the aggregate, and queue_depth() sums shards.
+  EXPECT_EQ(router.stats().completed, rs.total.completed);
+  EXPECT_EQ(router.queue_depth(), 0);
+}
+
+TEST(RouterRobustness, CancelFindsRequestAfterSteal) {
+  RouterOptions ropts;
+  ropts.num_shards = 2;
+  ropts.engine.start_paused = true;
+  ropts.enable_stealing = false;
+  Router router(ropts);
+  const auto designs = distinct_topology_designs(2);
+  ASSERT_GE(designs.size(), 1u);
+  AnalysisRequest request;
+  request.design = designs.front();
+  Engine::Ticket ticket = router.submit(std::move(request));
+  EXPECT_TRUE(router.cancel(ticket.id));
+  EXPECT_FALSE(router.cancel(ticket.id + 12345));
+  router.resume();
+  EXPECT_EQ(ticket.result.get().status, ResultStatus::kCancelled);
 }
 
 }  // namespace

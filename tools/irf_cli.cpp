@@ -8,6 +8,7 @@
 //   train        fit the IR-Fusion pipeline and save a model checkpoint
 //   analyze      one-shot end-to-end analysis with a saved model
 //   serve-batch  persistent engine: batched, cached analysis of a deck set
+//   serve-load   sharded router under open-loop Poisson load (N engine shards)
 //   json-check   validate a JSON artifact (CI helper)
 //   prom-check   validate a Prometheus text-format artifact (CI helper)
 //
@@ -24,6 +25,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -111,6 +113,29 @@ const cli::CommandSpec kServeBatchSpec = {
          "miss/warm fallback, and written once more when serving finishes"},
     }};
 
+const cli::CommandSpec kServeLoadSpec = {
+    "serve-load",
+    "",
+    "Drive open-loop Poisson load through the sharded serving router.",
+    {
+        {"load-model", "", "MODEL.irf",
+         "checkpoint to serve; missing file or omitted flag degrades to the "
+         "rough numerical map"},
+        {"designs", "", "DIR", "directory of <design>/netlist.sp decks (required)"},
+        {"shards", "", "N", "engine shards behind the router"},
+        {"rate", "", "RPS",
+         "offered Poisson arrival rate in requests/second (0 = closed loop, "
+         "submit as fast as backpressure allows)"},
+        {"requests", "", "K", "total requests to submit"},
+        {"batch", "", "N", "max requests fused into one model forward"},
+        {"cache-mb", "", "MB", "per-shard per-design cache budget"},
+        {"timeout-seconds", "", "T", "per-request deadline (0 = none)"},
+        {"interactive-pct", "", "P", "percent of requests tagged kInteractive"},
+        {"batch-pct", "", "P", "percent of requests tagged kBatch (shed first)"},
+        {"steal", "", "0|1", "idle-shard work stealing (default on)"},
+        {"seed", "", "S", "arrival-schedule seed"},
+    }};
+
 const cli::CommandSpec kJsonCheckSpec = {
     "json-check",
     "FILE.json",
@@ -125,8 +150,8 @@ const cli::CommandSpec kPromCheckSpec = {
 
 const std::vector<const cli::CommandSpec*>& all_commands() {
   static const std::vector<const cli::CommandSpec*> kCommands = {
-      &kGenerateSpec, &kSolveSpec,      &kTrainSpec,     &kAnalyzeSpec,
-      &kServeBatchSpec, &kJsonCheckSpec, &kPromCheckSpec};
+      &kGenerateSpec,   &kSolveSpec,     &kTrainSpec,     &kAnalyzeSpec,
+      &kServeBatchSpec, &kServeLoadSpec, &kJsonCheckSpec, &kPromCheckSpec};
   return kCommands;
 }
 
@@ -361,6 +386,117 @@ int cmd_serve_batch(const cli::ParsedArgs& args) {
   return other == 0 ? 0 : 1;
 }
 
+int cmd_serve_load(const cli::ParsedArgs& args) {
+  const std::string dir = args.require("designs");
+  RouterOptions ropts;
+  ropts.num_shards = args.flag_int_at_least("shards", 2, 1);
+  ropts.enable_stealing = args.flag_int("steal", 1) != 0;
+  ropts.engine.max_batch = args.flag_int_at_least("batch", 8, 1);
+  ropts.engine.queue_capacity = std::max(64, ropts.engine.max_batch * 4);
+  ropts.engine.cache_budget_bytes =
+      static_cast<std::size_t>(args.flag_int_at_least("cache-mb", 256, 1)) << 20;
+  ropts.engine.default_timeout_seconds = args.flag_double("timeout-seconds", 0.0);
+
+  const std::string model = args.flag("load-model");
+  std::unique_ptr<Router> router = model.empty()
+                                       ? std::make_unique<Router>(ropts)
+                                       : Router::from_checkpoint(model, ropts);
+  if (!router->has_model()) {
+    obs::info() << "serving without a model: every map is the rough numerical "
+                   "fallback (degraded)";
+  }
+
+  std::vector<std::shared_ptr<const pg::PgDesign>> designs;
+  for (const std::string& d : deck_directories(dir)) {
+    designs.push_back(std::make_shared<pg::PgDesign>(
+        load_design((fs::path(d) / "netlist.sp").string())));
+  }
+  if (designs.empty()) throw ConfigError("serve-load: no designs under " + dir);
+
+  const int requests = args.flag_int_at_least("requests", 64, 1);
+  const double rate = args.flag_double("rate", 0.0);
+  const int interactive_pct = args.flag_int_at_least("interactive-pct", 10, 0);
+  const int batch_pct = args.flag_int_at_least("batch-pct", 10, 0);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(args.flag_int("seed", 1)));
+  std::exponential_distribution<double> interarrival(rate > 0.0 ? rate : 1.0);
+  std::uniform_int_distribution<int> pct(0, 99);
+
+  obs::info() << "offering " << requests << " requests over " << designs.size()
+              << " designs to " << ropts.num_shards << " shard(s)"
+              << (rate > 0.0 ? " at " + std::to_string(rate) + " req/s (Poisson)"
+                             : " closed-loop");
+
+  // Open loop: each request has a scheduled arrival; latency is measured
+  // from that schedule (not from the possibly backpressure-delayed submit),
+  // so queueing delay is never hidden by a stalled submitter.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<Engine::Ticket> tickets;
+  std::vector<double> submit_delay(static_cast<std::size_t>(requests), 0.0);
+  tickets.reserve(static_cast<std::size_t>(requests));
+  double scheduled = 0.0;
+  for (int i = 0; i < requests; ++i) {
+    if (rate > 0.0) {
+      scheduled += interarrival(rng);
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(scheduled)));
+    }
+    AnalysisRequest request;
+    request.design = designs[static_cast<std::size_t>(i) % designs.size()];
+    const int p = pct(rng);
+    request.priority = p < interactive_pct ? Priority::kInteractive
+                       : p < interactive_pct + batch_pct ? Priority::kBatch
+                                                         : Priority::kNormal;
+    tickets.push_back(router->submit(std::move(request)));
+    submit_delay[static_cast<std::size_t>(i)] = std::max(
+        0.0, std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                     .count() -
+                 scheduled);
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(tickets.size());
+  int ok = 0, degraded = 0, shed = 0, other = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    AnalysisResult r = tickets[i].result.get();
+    if (r.ok()) ++ok;
+    else if (r.status == ResultStatus::kDegraded) ++degraded;
+    else if (r.status == ResultStatus::kShed) ++shed;
+    else ++other;
+    if (r.has_map()) {
+      latencies.push_back(submit_delay[i] + r.stages.total_seconds);
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  std::sort(latencies.begin(), latencies.end());
+  const auto quantile = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies.size() - 1) + 0.5);
+    return latencies[std::min(idx, latencies.size() - 1)];
+  };
+  const RouterStats rs = router->router_stats();
+  obs::info() << "served " << ok + degraded << "/" << requests << " maps in " << wall
+              << " s (" << static_cast<double>(ok + degraded) / std::max(wall, 1e-9)
+              << " req/s): " << ok << " ok, " << degraded << " degraded, " << shed
+              << " shed, " << other << " other";
+  obs::info() << "latency from scheduled arrival: p50 " << quantile(0.5) * 1e3
+              << " ms, p99 " << quantile(0.99) * 1e3 << " ms";
+  obs::info() << "router: " << rs.steals << " steals (" << rs.stolen_requests
+              << " requests moved), " << rs.total.shed << " shed, "
+              << rs.total.cache_hits << " cache hits / " << rs.total.cache_misses
+              << " misses";
+  for (std::size_t i = 0; i < rs.shards.size(); ++i) {
+    const EngineStats& s = rs.shards[i];
+    obs::verbose() << "  shard " << i << ": " << s.submitted << " submitted, "
+                   << s.completed << " completed, " << s.cache_hits << " hits, "
+                   << s.cache_evictions << " evictions";
+  }
+  return other == 0 ? 0 : 1;
+}
+
 int cmd_json_check(const cli::ParsedArgs& args) {
   if (args.positional.empty()) throw ConfigError("json-check: need a file path");
   const std::string& path = args.positional[0];
@@ -467,6 +603,7 @@ int main(int argc, char** argv) {
     else if (spec == &kTrainSpec) rc = cmd_train(args);
     else if (spec == &kAnalyzeSpec) rc = cmd_analyze(args);
     else if (spec == &kServeBatchSpec) rc = cmd_serve_batch(args);
+    else if (spec == &kServeLoadSpec) rc = cmd_serve_load(args);
     else if (spec == &kJsonCheckSpec) rc = cmd_json_check(args);
     else if (spec == &kPromCheckSpec) rc = cmd_prom_check(args);
     end_telemetry(args);
